@@ -1,0 +1,23 @@
+"""E1 — Theorem 1/2 constants: eps and delta for omega = 2.371339 and omega = 2.
+
+Reproduces the headline constants of the paper's abstract / Theorem 1:
+``eps = 0.009811`` (current omega) and ``eps = 1/24`` (best possible omega),
+with ``delta = 3 eps``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import experiment_e1_theorem_constants, text_table
+
+
+def test_e1_theorem_constants(benchmark, report_sink):
+    rows = benchmark(experiment_e1_theorem_constants)
+    report_sink.append(("E1 Theorem 1/2 constants", text_table(rows, float_digits=7)))
+    by_regime = {row.regime: row for row in rows}
+    assert by_regime["current"].eps_solved == pytest.approx(0.0098109, abs=1e-6)
+    assert by_regime["current"].exponent_solved == pytest.approx(0.65686, abs=1e-5)
+    assert by_regime["best"].eps_solved == pytest.approx(1 / 24, abs=1e-9)
+    assert by_regime["best"].delta_solved == pytest.approx(1 / 8, abs=1e-9)
+    assert all(row.matches for row in rows)

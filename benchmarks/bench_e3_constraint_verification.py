@@ -1,0 +1,16 @@
+"""E3 — Appendix B: the published parameter values satisfy every constraint."""
+
+from __future__ import annotations
+
+from repro.analysis import experiment_e3_constraint_verification, text_table
+
+
+def test_e3_constraint_verification(benchmark, report_sink):
+    rows = benchmark(experiment_e3_constraint_verification)
+    report_sink.append(("E3 Appendix B constraint verification", text_table(rows, float_digits=6)))
+    assert rows, "expected constraint evaluations"
+    assert all(row.satisfied for row in rows)
+    # Both parameter regimes and both constraint systems are covered.
+    assert {row.regime for row in rows} == {"current", "best"}
+    assert {row.system for row in rows} == {"main", "warm-up"}
+    assert len(rows) == 2 * (3 + 5)

@@ -1,0 +1,26 @@
+"""E4 — correctness cross-validation of every counter on every workload.
+
+Every registered counter must agree with the brute-force reference after every
+update of every catalogue workload (Erdős–Rényi, power-law, hubs, sliding
+window, churn).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiment_e4_cross_validation, text_table
+
+
+def test_e4_cross_validation(benchmark, report_sink):
+    rows = benchmark.pedantic(
+        experiment_e4_cross_validation,
+        kwargs={"scale": 1, "updates_per_workload": 120, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink.append(("E4 cross-validation", text_table(rows, float_digits=1)))
+    assert all(row.validated for row in rows)
+    # Within each workload all counters report the same final count.
+    by_workload = {}
+    for row in rows:
+        by_workload.setdefault(row.workload, set()).add(row.final_count)
+    assert all(len(counts) == 1 for counts in by_workload.values())

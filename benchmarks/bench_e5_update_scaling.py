@@ -1,0 +1,46 @@
+"""E5 — update-cost scaling versus m (operation counts and fitted exponents).
+
+The shape being reproduced: the stored-structure algorithms (HHH22, phase-FMM,
+the main algorithm) pay far less per update than the simple O(n) wedge counter
+as the graph grows, and their fitted cost exponents are sublinear in m.  The
+theoretical exponents (2/3 for HHH22, 2/3 - eps for the paper) are printed
+alongside; Python operation counts are not expected to match them exactly, only
+to preserve the ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.analysis import experiment_e5_update_scaling, text_table
+
+
+def test_e5_update_scaling(benchmark, report_sink):
+    result = benchmark.pedantic(
+        experiment_e5_update_scaling,
+        kwargs={"sizes": (16, 32, 64, 96), "updates_per_vertex": 7},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink.append(("E5 scaling points", text_table(result.points, float_digits=1)))
+    exponent_rows = [
+        {
+            "counter": name,
+            "fitted_exponent": result.fitted_exponents.get(name),
+            "theoretical_exponent": result.theoretical_exponents.get(name),
+        }
+        for name in sorted(result.fitted_exponents)
+    ]
+    report_sink.append(("E5 fitted cost exponents", text_table(exponent_rows, float_digits=3)))
+
+    by_counter = {}
+    for point in result.points:
+        by_counter.setdefault(point.counter, []).append(point)
+    # The live edge count must grow across the series for every counter ...
+    for name, points in by_counter.items():
+        assert points[-1].final_edges > points[0].final_edges
+    # ... and at the largest size the class/phase based baseline must not lose
+    # to the brute-force scanner (the "who wins" shape of the paper's story).
+    largest = {p.counter: p for p in result.points if p.num_vertices == 96}
+    assert largest["hhh22"].mean_operations <= largest["brute-force"].mean_operations * 1.5
+    assert all(asdict(point)["mean_operations"] > 0 for point in result.points)

@@ -1,0 +1,24 @@
+"""E6 — worst-case versus amortized per-update cost on an adversarial stream.
+
+The paper's bound is worst-case, so the metric of interest is the maximum (and
+p99) per-update cost relative to the mean on a hub-heavy stream that stresses
+the high/dense degree classes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiment_e6_worst_case, text_table
+
+
+def test_e6_worst_case(benchmark, report_sink):
+    rows = benchmark.pedantic(
+        experiment_e6_worst_case,
+        kwargs={"num_vertices": 40, "num_updates": 300},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink.append(("E6 worst-case vs amortized", text_table(rows, float_digits=1)))
+    assert {row.counter for row in rows} == {"wedge", "hhh22", "phase-fmm", "assadi-shah"}
+    for row in rows:
+        assert row.max_operations >= row.p99_operations >= 0
+        assert row.worst_to_mean_ratio >= 1.0

@@ -1,0 +1,32 @@
+"""E8 — omega ablation: the update-time exponent as a function of omega.
+
+Reproduces the paper's observations that (a) the improvement exists exactly
+when omega < 2.5, (b) Strassen's bound is not sufficient, and (c) the headline
+exponents are 0.65686 (current omega) and 0.625 (omega = 2) against the 2/3 of
+[HHH22] and the 1/2 lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import experiment_e8_omega_ablation, text_table
+
+
+def test_e8_omega_ablation(benchmark, report_sink):
+    result = benchmark(experiment_e8_omega_ablation, 0.05)
+    report_sink.append(("E8 omega sweep", text_table(result.rows, float_digits=6)))
+    report_sink.append(("E8 headline comparison", text_table(result.headline, float_digits=6)))
+    rows = result.rows
+    # Improvement exactly below 2.5.
+    for row in rows:
+        assert row.improves == (row.omega < 2.5)
+    # Monotone: a better omega never hurts.
+    exponents = [row.update_time_exponent for row in rows]
+    assert exponents == sorted(exponents)
+    assert exponents[0] == pytest.approx(0.625)
+    assert exponents[-1] == pytest.approx(2 / 3)
+    # Strassen's exponent is above the threshold.
+    assert math.log2(7) > 2.5

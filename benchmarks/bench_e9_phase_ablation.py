@@ -1,0 +1,27 @@
+"""E9 — phase-length ablation for the phase/FMM counter.
+
+Short phases mean small new-phase deltas (cheap queries) but frequent matrix
+products; long phases amortize the products but force larger lazy delta scans.
+The experiment sweeps the phase length on a skewed stream and reports the
+per-update cost statistics and the number of completed phases.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiment_e9_phase_ablation, text_table
+
+
+def test_e9_phase_ablation(benchmark, report_sink):
+    rows = benchmark.pedantic(
+        experiment_e9_phase_ablation,
+        kwargs={"phase_lengths": (4, 16, 64, 256), "num_vertices": 36, "num_updates": 300},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink.append(("E9 phase-length ablation", text_table(rows, float_digits=1)))
+    assert [row.phase_length for row in rows] == [4, 16, 64, 256]
+    # More, shorter phases complete than long ones.
+    assert rows[0].phases_completed > rows[-1].phases_completed
+    for row in rows:
+        assert row.mean_operations > 0
+        assert row.max_operations >= row.p99_operations

@@ -1,0 +1,53 @@
+"""Reproduce the paper's analytic results: Theorem 1/2 constants and tables.
+
+Run with::
+
+    python examples/paper_constants.py
+
+Prints the constants of Theorems 1 and 2 (re-derived from the constraint
+systems), the Appendix B verification, the warm-up algorithm constants, and
+the omega ablation showing where the improvement disappears (omega >= 2.5).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    experiment_e1_theorem_constants,
+    experiment_e2_warmup_constants,
+    experiment_e3_constraint_verification,
+    experiment_e8_omega_ablation,
+    text_table,
+)
+from repro.theory import predicted_speedup
+
+
+def main() -> None:
+    print("== E1: Theorem 1/2 constants (eps, delta, update-time exponent) ==")
+    print(text_table(experiment_e1_theorem_constants(), float_digits=7))
+    print()
+
+    print("== E2: warm-up algorithm constants (Section 3.4) ==")
+    print(text_table(experiment_e2_warmup_constants(), float_digits=8))
+    print()
+
+    print("== E3: Appendix B constraint verification at the published values ==")
+    print(text_table(experiment_e3_constraint_verification(), float_digits=6))
+    print()
+
+    ablation = experiment_e8_omega_ablation(step=0.1)
+    print("== E8: update-time exponent as a function of omega ==")
+    print(text_table(ablation.rows, float_digits=6))
+    print()
+    print("== Headline comparison ==")
+    print(text_table(ablation.headline, float_digits=6))
+    print()
+
+    for m in (10 ** 6, 10 ** 9):
+        print(
+            f"predicted speedup over the m^(2/3) baseline at m = {m:.0e}: "
+            f"{predicted_speedup(m):.3f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

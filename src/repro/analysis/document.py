@@ -1,0 +1,170 @@
+"""Generate the EXPERIMENTS.md report from the experiment implementations.
+
+``EXPERIMENTS.md`` in the repository root is the output of
+:func:`build_experiments_markdown` — regenerate it at any time with::
+
+    python -m repro.analysis.document > EXPERIMENTS.md
+
+so the documented numbers always come from the same code paths the benchmarks
+exercise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.experiments import (
+    experiment_e1_theorem_constants,
+    experiment_e2_warmup_constants,
+    experiment_e3_constraint_verification,
+    experiment_e4_cross_validation,
+    experiment_e5_update_scaling,
+    experiment_e6_worst_case,
+    experiment_e7_ivm_join,
+    experiment_e8_omega_ablation,
+    experiment_e9_phase_ablation,
+)
+from repro.analysis.reporting import markdown_table
+
+
+def build_experiments_markdown(quick: bool = False) -> str:
+    """Run every experiment and render the Markdown report.
+
+    ``quick=True`` shrinks the synthetic workloads (used by tests); the
+    committed ``EXPERIMENTS.md`` is generated with the default sizes.
+    """
+    scale_updates = 60 if quick else 150
+    sizes = (16, 32) if quick else (16, 32, 64, 96)
+    sections: List[str] = []
+    sections.append(_header())
+
+    sections.append("## E1 — Theorem 1/2 constants\n")
+    sections.append(
+        "Paper: `eps = 0.009811`, `delta = 3 eps = 0.0294327` for `omega = 2.371339`; "
+        "`eps = 1/24`, `delta = 1/8` for `omega = 2`; update-time exponent `2/3 - eps` "
+        "(`m^0.65686` and `m^0.625`).  Measured: the solver's closed form reproduces the "
+        "published constants to the reported precision.\n"
+    )
+    sections.append(markdown_table(experiment_e1_theorem_constants(), float_digits=7))
+
+    sections.append("\n## E2 — Warm-up algorithm constants (Section 3.4)\n")
+    sections.append(
+        "Paper: `eps1 = 0.04201965`, `eps2 = 0.14568075` (current omega, via the [ADW+25] "
+        "rectangular tables) and `eps1 = 1/24`, `eps2 = 5/24` (best possible omega).  Measured: "
+        "the best-possible regime is re-derived exactly; for the current regime the solver uses "
+        "the block-partition rectangular bound (the [ADW+25] tables are not reproducible "
+        "offline), so its value differs from the published one, and E3 instead verifies the "
+        "published value against every constraint.\n"
+    )
+    sections.append(markdown_table(experiment_e2_warmup_constants(), float_digits=8))
+
+    sections.append("\n## E3 — Appendix B constraint verification\n")
+    sections.append(
+        "Paper: all constraints of Eqs. (2), (5)-(11) hold at the published parameter values.  "
+        "Measured: every row satisfied.\n"
+    )
+    sections.append(markdown_table(experiment_e3_constraint_verification(), float_digits=6))
+
+    sections.append("\n## E4 — Correctness cross-validation\n")
+    sections.append(
+        "All counters must agree with the brute-force reference after every update on every "
+        "workload (the paper's algorithm is exact).  Measured: every (counter, workload) pair "
+        "validated.\n"
+    )
+    sections.append(
+        markdown_table(
+            experiment_e4_cross_validation(scale=1, updates_per_workload=scale_updates),
+            float_digits=1,
+        )
+    )
+
+    sections.append("\n## E5 — Update-cost scaling versus m\n")
+    sections.append(
+        "Operation counts per update as the (skewed) graph grows.  The paper's claim is about "
+        "asymptotic worst-case exponents (2/3 for [HHH22], 2/3 - eps here) that cannot be "
+        "observed at laptop scale; the reproduced *shape* is that the stored-structure "
+        "algorithms' costs grow sublinearly in m and do not blow up with the hubs' degrees, "
+        "unlike the neighborhood-scanning baselines.\n"
+    )
+    scaling = experiment_e5_update_scaling(sizes=sizes, updates_per_vertex=7)
+    sections.append(markdown_table(scaling.points, float_digits=1))
+    exponent_rows = [
+        {
+            "counter": name,
+            "fitted_cost_exponent": scaling.fitted_exponents.get(name),
+            "theoretical_worst_case_exponent": scaling.theoretical_exponents.get(name),
+        }
+        for name in sorted(scaling.fitted_exponents)
+    ]
+    sections.append("\n")
+    sections.append(markdown_table(exponent_rows, float_digits=3))
+
+    sections.append("\n## E6 — Worst-case versus amortized per-update cost\n")
+    sections.append(
+        "Hub-adversarial stream; the figure of merit for a worst-case bound is the max/p99 "
+        "per-update cost relative to the mean.\n"
+    )
+    sections.append(
+        markdown_table(
+            experiment_e6_worst_case(num_vertices=40, num_updates=200 if quick else 400),
+            float_digits=1,
+        )
+    )
+
+    sections.append("\n## E7 — IVM cyclic-join count view\n")
+    sections.append(
+        "Four relations under random tuple updates; the maintained COUNT view must equal a "
+        "from-scratch join at every checkpoint (Figure 1 framing).\n"
+    )
+    sections.append(
+        markdown_table(
+            experiment_e7_ivm_join(updates_per_domain=150 if quick else 400), float_digits=6
+        )
+    )
+
+    sections.append("\n## E8 — Omega ablation\n")
+    sections.append(
+        "Paper: the improvement exists exactly when `omega < 2.5` (so Strassen's 2.807 is not "
+        "enough), and the exponent falls from 2/3 to 0.65686 (current omega) and 0.625 "
+        "(omega = 2).  Measured: reproduced by the constraint solver.\n"
+    )
+    ablation = experiment_e8_omega_ablation(step=0.1)
+    sections.append(markdown_table(ablation.rows, float_digits=6))
+    sections.append("\n")
+    sections.append(markdown_table(ablation.headline, float_digits=6))
+
+    sections.append("\n## E9 — Phase-length ablation\n")
+    sections.append(
+        "Sweeping the phase length of the phase/FMM counter: short phases re-multiply often, "
+        "long phases make the lazily scanned new-phase delta large; the paper's choice "
+        "`m^{1-delta}` balances the two.\n"
+    )
+    sections.append(
+        markdown_table(
+            experiment_e9_phase_ablation(num_updates=200 if quick else 400), float_digits=1
+        )
+    )
+    sections.append("")
+    return "\n".join(sections)
+
+
+def _header() -> str:
+    return (
+        "# EXPERIMENTS — paper versus reproduction\n"
+        "\n"
+        "This file is generated by `python -m repro.analysis.document > EXPERIMENTS.md`.\n"
+        "Each section corresponds to one experiment id of DESIGN.md; the benchmark suite\n"
+        "(`pytest benchmarks/ --benchmark-only`) regenerates the same rows and asserts the\n"
+        "reproduced claims.  The paper (PODS 2025, arXiv:2504.10748) has no empirical\n"
+        "evaluation of its own: E1-E3 and E8 reproduce its analytic results exactly, while\n"
+        "E4-E7 and E9 are the synthetic-system experiments implied by its claims (exactness,\n"
+        "worst-case behaviour, IVM framing, phase design).\n"
+    )
+
+
+def main() -> None:
+    print(build_experiments_markdown())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Command-line interface for quick experiments.
+
+Installed as ``repro-4cycles``.  Subcommands:
+
+* ``constants`` — print the Theorem 1/2 parameter tables (experiments E1/E2)
+  and the Appendix B constraint verification (E3).
+* ``compare`` — replay a synthetic workload through several counters and print
+  the comparison table (a small version of experiments E4/E5).
+* ``omega-sweep`` — print the update-time exponent as a function of omega (E8).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.registry import available_counters
+from repro.instrumentation.harness import compare_counters, format_table, summary_table
+from repro.theory.exponents import comparison_table, omega_sweep
+from repro.theory.parameters import published_parameters, verify_published_parameters
+from repro.workloads.generators import erdos_renyi_stream, hub_adversarial_stream, power_law_stream
+
+_WORKLOADS = {
+    "erdos-renyi": erdos_renyi_stream,
+    "power-law": power_law_stream,
+    "hubs": hub_adversarial_stream,
+}
+
+
+def _command_constants(_: argparse.Namespace) -> int:
+    for which in ("current", "best"):
+        published = published_parameters(which)
+        print(f"[{which} omega = {published.omega}]")
+        print(f"  eps    = {published.main.eps:.7f}")
+        print(f"  delta  = {published.main.delta:.7f}")
+        print(f"  update-time exponent = {published.main.update_time_exponent:.6f}")
+        print(f"  warm-up eps1 = {published.warmup.eps1:.8f}, eps2 = {published.warmup.eps2:.8f}")
+        report = verify_published_parameters(which)
+        status = "satisfied" if report.all_satisfied else "VIOLATED"
+        print(f"  Appendix B constraints: {status}")
+        for evaluation in report.main_evaluations + report.warmup_evaluations:
+            print(
+                f"    {evaluation.name}: lhs={evaluation.lhs:.6f} <= rhs={evaluation.rhs:.6f} "
+                f"({'ok' if evaluation.satisfied else 'violated'})"
+            )
+    print()
+    print("Headline exponent comparison:")
+    for row in comparison_table():
+        print(f"  {row.algorithm:<40} m^{row.exponent:.6f}   {row.note}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    workload = _WORKLOADS[args.workload]
+    stream = workload(args.vertices, args.updates, seed=args.seed)
+    names = args.counters.split(",") if args.counters else available_counters()
+    results = compare_counters(names, stream)
+    print(f"workload={args.workload} vertices={args.vertices} updates={args.updates}")
+    print(format_table(summary_table(results)))
+    return 0
+
+
+def _command_omega_sweep(args: argparse.Namespace) -> int:
+    omegas = [2.0 + args.step * index for index in range(int((3.0 - 2.0) / args.step) + 1)]
+    print(f"{'omega':>8}  {'eps':>10}  {'delta':>10}  {'exponent':>10}  improves")
+    for row in omega_sweep(omegas):
+        print(
+            f"{row.omega:>8.3f}  {row.eps:>10.6f}  {row.delta:>10.6f}  "
+            f"{row.update_time_exponent:>10.6f}  {'yes' if row.improves else 'no'}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-4cycles",
+        description="Fully dynamic 4-cycle counting (Assadi & Shah, PODS 2025) — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    constants = subparsers.add_parser("constants", help="print the Theorem 1/2 parameter tables")
+    constants.set_defaults(handler=_command_constants)
+
+    compare = subparsers.add_parser("compare", help="compare counters on a synthetic workload")
+    compare.add_argument("--workload", choices=sorted(_WORKLOADS), default="erdos-renyi")
+    compare.add_argument("--vertices", type=int, default=40)
+    compare.add_argument("--updates", type=int, default=300)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--counters",
+        default="",
+        help="comma-separated counter names (default: all registered counters)",
+    )
+    compare.set_defaults(handler=_command_compare)
+
+    sweep = subparsers.add_parser("omega-sweep", help="update-time exponent as a function of omega")
+    sweep.add_argument("--step", type=float, default=0.05)
+    sweep.set_defaults(handler=_command_omega_sweep)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

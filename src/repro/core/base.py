@@ -1,0 +1,175 @@
+"""Base classes for fully dynamic 4-cycle counters.
+
+Every counter in :mod:`repro.core` follows the same scheme the paper uses
+(Section 2.2 and Appendix A):
+
+* the maintained answer is the total number of 4-cycles;
+* an update ``{u, v}`` changes the answer by the number of 4-cycles *through*
+  the updated edge, which equals the number of 3-paths between ``u`` and ``v``
+  in the graph **without** that edge;
+* therefore, on an insertion the query is answered first and the data
+  structures are updated afterwards, and on a deletion the data structures are
+  updated first and the query answered afterwards (Claim A.3's ordering).
+
+:class:`DynamicFourCycleCounter` implements that template once; concrete
+counters supply
+
+* :meth:`DynamicFourCycleCounter._three_paths` — the query, and
+* :meth:`DynamicFourCycleCounter._apply_structure_delta` — maintenance of the
+  auxiliary structures, always called while the updated edge is *absent* from
+  the internal graph (for insertions just before the edge is added, for
+  deletions just after it is removed), so maintenance code never needs to
+  special-case the updated edge.
+
+A hook :meth:`DynamicFourCycleCounter._post_update` runs after the graph
+reflects the new state; counters use it for degree-class transitions and phase
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Hashable, Iterable, Optional
+
+from repro.exceptions import DuplicateEdgeError, MissingEdgeError, SelfLoopError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.static_counts import count_four_cycles_trace
+from repro.graph.updates import EdgeUpdate, UpdateKind, UpdateStream
+from repro.instrumentation.cost_model import CostModel
+from repro.instrumentation.metrics import UpdateMetrics, UpdateRecord
+
+Vertex = Hashable
+
+
+class DynamicFourCycleCounter(abc.ABC):
+    """Maintains the exact number of 4-cycles in a fully dynamic simple graph."""
+
+    #: Short machine-readable name used by the registry and benchmarks.
+    name: str = "abstract"
+
+    def __init__(self, record_metrics: bool = False) -> None:
+        self._graph = DynamicGraph()
+        self._count = 0
+        self._updates_processed = 0
+        self.cost = CostModel()
+        self.metrics: Optional[UpdateMetrics] = UpdateMetrics() if record_metrics else None
+
+    # -- public API ----------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """The current number of 4-cycles."""
+        return self._count
+
+    @property
+    def num_edges(self) -> int:
+        """The current number of edges ``m``."""
+        return self._graph.num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def updates_processed(self) -> int:
+        return self._updates_processed
+
+    @property
+    def graph(self) -> DynamicGraph:
+        """The maintained graph (read-only use only)."""
+        return self._graph
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> int:
+        """Insert ``{u, v}`` and return the new 4-cycle count."""
+        return self.apply(EdgeUpdate.insert(u, v))
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> int:
+        """Delete ``{u, v}`` and return the new 4-cycle count."""
+        return self.apply(EdgeUpdate.delete(u, v))
+
+    def apply(self, update: EdgeUpdate) -> int:
+        """Process one update and return the new 4-cycle count."""
+        started = time.perf_counter()
+        before = self.cost.snapshot() if self.metrics is not None else None
+        u, v = update.u, update.v
+        if update.kind is UpdateKind.INSERT:
+            self._validate_insert(u, v)
+            delta = self._three_paths(u, v)
+            self._apply_structure_delta(u, v, +1)
+            self._graph.insert_edge(u, v)
+            self._post_update(u, v, +1)
+            self._count += delta
+        else:
+            self._validate_delete(u, v)
+            self._graph.delete_edge(u, v)
+            self._apply_structure_delta(u, v, -1)
+            delta = self._three_paths(u, v)
+            self._post_update(u, v, -1)
+            self._count -= delta
+        self._updates_processed += 1
+        if self.metrics is not None and before is not None:
+            after = self.cost.snapshot()
+            spent = after.diff(before)
+            self.metrics.record(
+                UpdateRecord(
+                    index=self._updates_processed - 1,
+                    operations=spent.total,
+                    seconds=time.perf_counter() - started,
+                    edge_count=self._graph.num_edges,
+                    is_insert=update.is_insert,
+                    categories=dict(spent.categories),
+                )
+            )
+        return self._count
+
+    def apply_all(self, updates: Iterable[EdgeUpdate]) -> int:
+        """Process every update in order and return the final count."""
+        for update in updates:
+            self.apply(update)
+        return self._count
+
+    def process_stream(self, stream: UpdateStream) -> list[int]:
+        """Process a stream and return the count after every update."""
+        return [self.apply(update) for update in stream]
+
+    def recount(self) -> int:
+        """Recompute the 4-cycle count from scratch (for validation)."""
+        return count_four_cycles_trace(self._graph)
+
+    def is_consistent(self) -> bool:
+        """Whether the maintained count matches a from-scratch recount."""
+        return self._count == self.recount()
+
+    # -- hooks for subclasses --------------------------------------------------
+    @abc.abstractmethod
+    def _three_paths(self, u: Vertex, v: Vertex) -> int:
+        """Number of 3-paths between ``u`` and ``v``; the edge ``{u, v}`` is
+        guaranteed to be absent from :attr:`graph` when this is called."""
+
+    def _apply_structure_delta(self, u: Vertex, v: Vertex, sign: int) -> None:
+        """Update auxiliary structures for the (signed) edge ``{u, v}``.
+
+        Called while the edge is absent from :attr:`graph`: just before the
+        graph insertion (``sign = +1``) or just after the graph deletion
+        (``sign = -1``).  The default does nothing.
+        """
+
+    def _post_update(self, u: Vertex, v: Vertex, sign: int) -> None:
+        """Hook called after the graph reflects the new state."""
+
+    # -- validation ------------------------------------------------------------
+    def _validate_insert(self, u: Vertex, v: Vertex) -> None:
+        if u == v:
+            raise SelfLoopError(f"cannot insert self-loop at {u!r}")
+        if self._graph.has_edge(u, v):
+            raise DuplicateEdgeError(f"edge ({u!r}, {v!r}) is already present")
+
+    def _validate_delete(self, u: Vertex, v: Vertex) -> None:
+        if not self._graph.has_edge(u, v):
+            raise MissingEdgeError(f"edge ({u!r}, {v!r}) is not present")
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(count={self._count}, m={self.num_edges}, "
+            f"updates={self._updates_processed})"
+        )

@@ -1,0 +1,41 @@
+"""Brute-force reference counter.
+
+Answers every query by enumerating the neighborhoods of the two endpoints and
+checking adjacency of the middle pair.  Worst-case update time
+``O(deg(u) * deg(v))`` — far from the paper's bound, but trivially correct, so
+it is the ground truth the test suite and the cross-validation experiment (E4)
+measure every other counter against.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.base import DynamicFourCycleCounter
+
+Vertex = Hashable
+
+
+class BruteForceCounter(DynamicFourCycleCounter):
+    """Reference counter: no auxiliary structures, quadratic-in-degree queries."""
+
+    name = "brute-force"
+
+    def _three_paths(self, u: Vertex, v: Vertex) -> int:
+        graph = self._graph
+        total = 0
+        neighbors_u = graph.neighbors(u)
+        neighbors_v = graph.neighbors(v)
+        # Enumerate from the smaller side first; the inner membership test is
+        # O(1) either way, but charging reflects the actual scan sizes.
+        for x in neighbors_u:
+            if x == v:
+                continue
+            self.cost.charge("neighborhood_scan")
+            for y in neighbors_v:
+                if y == u or y == x:
+                    continue
+                self.cost.charge("adjacency_probe")
+                if graph.has_edge(x, y):
+                    total += 1
+        return total

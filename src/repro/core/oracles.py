@@ -1,0 +1,447 @@
+"""Dynamic 3-path oracles over a chain of three relations.
+
+The equivalent problem the paper solves (Section 2.2): maintain three binary
+relations forming a chain ``L1 -A-> L2 -B-> L3 -C-> L4`` under tuple
+insertions/deletions, and answer queries ``(u in L1, v in L4)`` asking for the
+number of layered 3-paths from ``u`` to ``v`` — i.e. the entry
+``(A · B · C)[u, v]``.  Both the layered 4-cycle counter (four oracle copies,
+one per query relation) and the general-graph counters (one oracle via the
+Section 8 reduction) are thin wrappers around such an oracle.
+
+This module defines:
+
+* :class:`ThreePathOracle` — the oracle interface plus the shared relation
+  storage (forward/backward adjacency per chain position).
+* :class:`NaiveThreePathOracle` — answers queries by neighborhood enumeration;
+  the simplest exact oracle, used for cross-validation.
+* :class:`PhaseThreePathOracle` — the phase + fast-matrix-multiplication
+  decomposition at the core of the paper's main algorithm: old-phase products
+  are precomputed with (fast) matrix multiplication spread over the phase, and
+  queries combine them with the signed delta edges of the recent phases.
+* :class:`OracleBackedCounter` — a general-graph 4-cycle counter driven by any
+  oracle through the Section 8 reduction.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, Hashable, Optional, Set
+
+from repro.core.base import DynamicFourCycleCounter
+from repro.exceptions import ConfigurationError, InvalidUpdateError
+from repro.instrumentation.cost_model import CostModel
+from repro.matmul.engine import CountMatrix
+from repro.matmul.scheduler import ChainProductJob, PhaseScheduler
+from repro.theory.parameters import solve_main_parameters
+
+Vertex = Hashable
+
+#: Chain positions: 1 connects L1 to L2, 2 connects L2 to L3, 3 connects L3 to L4.
+CHAIN_POSITIONS = (1, 2, 3)
+
+
+class _ChainRelation:
+    """Forward/backward adjacency for one position of the chain."""
+
+    __slots__ = ("forward", "backward", "size")
+
+    def __init__(self) -> None:
+        self.forward: Dict[Vertex, Set[Vertex]] = {}
+        self.backward: Dict[Vertex, Set[Vertex]] = {}
+        self.size = 0
+
+    def has(self, left: Vertex, right: Vertex) -> bool:
+        neighbors = self.forward.get(left)
+        return neighbors is not None and right in neighbors
+
+    def apply(self, left: Vertex, right: Vertex, sign: int) -> None:
+        if sign == +1:
+            if self.has(left, right):
+                raise InvalidUpdateError(
+                    f"tuple ({left!r}, {right!r}) is already present in the chain relation"
+                )
+            self.forward.setdefault(left, set()).add(right)
+            self.backward.setdefault(right, set()).add(left)
+            self.size += 1
+        elif sign == -1:
+            if not self.has(left, right):
+                raise InvalidUpdateError(
+                    f"tuple ({left!r}, {right!r}) is not present in the chain relation"
+                )
+            self.forward[left].discard(right)
+            self.backward[right].discard(left)
+            self.size -= 1
+        else:
+            raise InvalidUpdateError(f"sign must be +1 or -1, got {sign}")
+
+    def to_count_matrix(self) -> CountMatrix:
+        matrix = CountMatrix()
+        for left, rights in self.forward.items():
+            for right in rights:
+                matrix.add(left, right, 1)
+        return matrix
+
+
+class ThreePathOracle(abc.ABC):
+    """Interface and shared state of dynamic 3-path oracles."""
+
+    #: Short machine-readable name.
+    name: str = "abstract-oracle"
+
+    def __init__(self, cost: Optional[CostModel] = None) -> None:
+        self.cost = cost if cost is not None else CostModel()
+        self._relations: Dict[int, _ChainRelation] = {
+            position: _ChainRelation() for position in CHAIN_POSITIONS
+        }
+        self._updates_processed = 0
+
+    # -- shared relation access -------------------------------------------------
+    def relation(self, position: int) -> _ChainRelation:
+        rel = self._relations.get(position)
+        if rel is None:
+            raise ConfigurationError(f"chain position must be 1, 2 or 3, got {position}")
+        return rel
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of tuples over the three chain relations."""
+        return sum(rel.size for rel in self._relations.values())
+
+    @property
+    def updates_processed(self) -> int:
+        return self._updates_processed
+
+    # -- update / query -----------------------------------------------------------
+    def update(self, position: int, left: Vertex, right: Vertex, sign: int) -> None:
+        """Apply a signed tuple update at the given chain position."""
+        relation = self.relation(position)
+        self._before_relation_update(position, left, right, sign)
+        relation.apply(left, right, sign)
+        self._after_relation_update(position, left, right, sign)
+        self._updates_processed += 1
+
+    def insert(self, position: int, left: Vertex, right: Vertex) -> None:
+        self.update(position, left, right, +1)
+
+    def delete(self, position: int, left: Vertex, right: Vertex) -> None:
+        self.update(position, left, right, -1)
+
+    @abc.abstractmethod
+    def count_three_paths(self, u: Vertex, v: Vertex) -> int:
+        """The number of chain 3-paths from ``u`` (L1) to ``v`` (L4)."""
+
+    # -- subclass hooks -------------------------------------------------------------
+    def _before_relation_update(self, position: int, left: Vertex, right: Vertex, sign: int) -> None:
+        """Hook called before the relation storage changes."""
+
+    def _after_relation_update(self, position: int, left: Vertex, right: Vertex, sign: int) -> None:
+        """Hook called after the relation storage changed."""
+
+    # -- validation helpers -----------------------------------------------------------
+    def count_three_paths_naive(self, u: Vertex, v: Vertex) -> int:
+        """Reference enumeration used by tests to validate any oracle."""
+        first = self.relation(1).forward.get(u, _EMPTY_SET)
+        third = self.relation(3).backward.get(v, _EMPTY_SET)
+        second_forward = self.relation(2).forward
+        total = 0
+        for x in first:
+            middle = second_forward.get(x, _EMPTY_SET)
+            if len(middle) <= len(third):
+                total += sum(1 for y in middle if y in third)
+            else:
+                total += sum(1 for y in third if y in middle)
+        return total
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(edges={self.num_edges}, updates={self._updates_processed})"
+
+
+class NaiveThreePathOracle(ThreePathOracle):
+    """Answers queries by direct neighborhood enumeration (no extra state)."""
+
+    name = "naive-oracle"
+
+    def count_three_paths(self, u: Vertex, v: Vertex) -> int:
+        first = self.relation(1).forward.get(u, _EMPTY_SET)
+        third = self.relation(3).backward.get(v, _EMPTY_SET)
+        second_forward = self.relation(2).forward
+        total = 0
+        for x in first:
+            self.cost.charge("neighborhood_scan")
+            middle = second_forward.get(x, _EMPTY_SET)
+            smaller, larger = (middle, third) if len(middle) <= len(third) else (third, middle)
+            for y in smaller:
+                self.cost.charge("adjacency_probe")
+                if y in larger:
+                    total += 1
+        return total
+
+
+class PhaseThreePathOracle(ThreePathOracle):
+    """Phase + fast-matrix-multiplication oracle (the paper's core mechanism).
+
+    The update stream is split into *phases*.  At the start of each phase the
+    current relations are snapshotted and the products ``A_o · B_o``,
+    ``B_o · C_o`` and ``A_o · B_o · C_o`` of that snapshot are submitted to a
+    :class:`~repro.matmul.scheduler.PhaseScheduler`, which advances them by a
+    bounded amount of work on every update so the products are ready by the end
+    of the phase (Section 5.1 / Algorithm 2, Step 2).  Consequently the
+    products available during a phase describe the snapshot taken one phase
+    earlier, and the "new" edges span at most the current and previous phase —
+    exactly the paper's ``P_new = P_{j+1} ∪ P_j``.
+
+    A query ``(u, v)`` expands ``(A_o + dA)(B_o + dB)(C_o + dC)[u, v]`` exactly:
+
+    * ``A_o B_o C_o`` — one lookup in the precomputed triple product;
+    * ``dA · (B_o C_o)`` — iterate the new ``A``-edges incident to ``u``;
+    * ``(A_o B_o) · dC`` — iterate the new ``C``-edges incident to ``v``;
+    * ``dA · B_o · dC`` — iterate the new ``A``/``C`` edges at both endpoints;
+    * ``A · dB · C`` — iterate the new ``B``-edges (at most two phases' worth)
+      with O(1) adjacency probes; this is the lazy evaluation the paper applies
+      to new-phase edges, refined by its class-based data structures.
+
+    Every term is exact, so the oracle is exact at all times, including before
+    the first phase completes (the old products are then empty and the deltas
+    carry everything).
+    """
+
+    name = "phase-oracle"
+
+    def __init__(
+        self,
+        phase_length: Optional[int] = None,
+        delta: Optional[float] = None,
+        min_phase_length: int = 16,
+        cost: Optional[CostModel] = None,
+    ) -> None:
+        super().__init__(cost=cost)
+        if phase_length is not None and phase_length <= 0:
+            raise ConfigurationError(f"phase_length must be positive, got {phase_length}")
+        self._fixed_phase_length = phase_length
+        self._delta = delta if delta is not None else solve_main_parameters().delta
+        self._min_phase_length = max(1, min_phase_length)
+        self._phase_length = phase_length if phase_length is not None else self._min_phase_length
+        self._updates_in_phase = 0
+        self._phases_completed = 0
+        # Products of the *active* old snapshot (one phase behind).
+        self._product_ab = CountMatrix()
+        self._product_bc = CountMatrix()
+        self._product_abc = CountMatrix()
+        # Signed deltas since the active old snapshot, indexed for queries.
+        self._delta_a_by_left: Dict[Vertex, Dict[Vertex, int]] = {}
+        self._delta_b: Dict[tuple[Vertex, Vertex], int] = {}
+        self._delta_c_by_right: Dict[Vertex, Dict[Vertex, int]] = {}
+        # Signed deltas since the *pending* snapshot (the one being multiplied).
+        self._pending_delta_a: Dict[Vertex, Dict[Vertex, int]] = {}
+        self._pending_delta_b: Dict[tuple[Vertex, Vertex], int] = {}
+        self._pending_delta_c: Dict[Vertex, Dict[Vertex, int]] = {}
+        self._scheduler = PhaseScheduler(budget_per_update=max(1, self._min_phase_length))
+        self._pending_jobs: Dict[str, ChainProductJob] = {}
+        self._start_phase()
+
+    # -- introspection ---------------------------------------------------------------
+    @property
+    def phase_length(self) -> int:
+        return self._phase_length
+
+    @property
+    def phases_completed(self) -> int:
+        return self._phases_completed
+
+    @property
+    def scheduler(self) -> PhaseScheduler:
+        return self._scheduler
+
+    def new_edge_count(self) -> int:
+        """Number of signed delta edges currently handled lazily."""
+        return (
+            sum(len(entries) for entries in self._delta_a_by_left.values())
+            + len(self._delta_b)
+            + sum(len(entries) for entries in self._delta_c_by_right.values())
+        )
+
+    # -- update hooks ------------------------------------------------------------------
+    def _after_relation_update(self, position: int, left: Vertex, right: Vertex, sign: int) -> None:
+        self._record_delta(position, left, right, sign)
+        worked = self._scheduler.work()
+        self.cost.charge("matmul_ops", worked)
+        self._updates_in_phase += 1
+        if self._updates_in_phase >= self._phase_length:
+            self._end_phase()
+
+    def _record_delta(self, position: int, left: Vertex, right: Vertex, sign: int) -> None:
+        self.cost.charge("structure_update")
+        if position == 1:
+            _add_nested(self._delta_a_by_left, left, right, sign)
+            _add_nested(self._pending_delta_a, left, right, sign)
+        elif position == 2:
+            _add_flat(self._delta_b, (left, right), sign)
+            _add_flat(self._pending_delta_b, (left, right), sign)
+        else:
+            _add_nested(self._delta_c_by_right, right, left, sign)
+            _add_nested(self._pending_delta_c, right, left, sign)
+
+    # -- phase machinery -----------------------------------------------------------------
+    def _start_phase(self) -> None:
+        """Snapshot the current relations and submit their products."""
+        snapshot_a = self.relation(1).to_count_matrix()
+        snapshot_b = self.relation(2).to_count_matrix()
+        snapshot_c = self.relation(3).to_count_matrix()
+        self._pending_jobs = {
+            "ab": ChainProductJob([snapshot_a, snapshot_b], name="A_old*B_old"),
+            "bc": ChainProductJob([snapshot_b, snapshot_c], name="B_old*C_old"),
+            "abc": ChainProductJob([snapshot_a, snapshot_b, snapshot_c], name="A_old*B_old*C_old"),
+        }
+        self._pending_delta_a = {}
+        self._pending_delta_b = {}
+        self._pending_delta_c = {}
+        self._scheduler.clear()
+        for job in self._pending_jobs.values():
+            self._scheduler.submit(job)
+        self._phase_length = self._compute_phase_length()
+        self._scheduler.budget_per_update = self._compute_budget()
+        self._updates_in_phase = 0
+
+    def _end_phase(self) -> None:
+        """Finish the pending products and promote them to the active ones."""
+        flushed = self._scheduler.finish_all()
+        self.cost.charge("matmul_ops", flushed)
+        self._product_ab = self._pending_jobs["ab"].result
+        self._product_bc = self._pending_jobs["bc"].result
+        self._product_abc = self._pending_jobs["abc"].result
+        self._delta_a_by_left = {left: dict(entries) for left, entries in self._pending_delta_a.items()}
+        self._delta_b = dict(self._pending_delta_b)
+        self._delta_c_by_right = {
+            right: dict(entries) for right, entries in self._pending_delta_c.items()
+        }
+        self._phases_completed += 1
+        self._start_phase()
+
+    def _compute_phase_length(self) -> int:
+        if self._fixed_phase_length is not None:
+            return self._fixed_phase_length
+        m = max(self.num_edges, 1)
+        return max(self._min_phase_length, int(math.ceil(float(m) ** (1.0 - self._delta))))
+
+    def _compute_budget(self) -> int:
+        """Per-update work budget that finishes the pending products in time."""
+        estimated = 0
+        for job in self._pending_jobs.values():
+            estimated += _estimate_chain_cost(job)
+        return max(1, int(math.ceil(2.0 * estimated / max(self._phase_length, 1))))
+
+    # -- query ----------------------------------------------------------------------------
+    def count_three_paths(self, u: Vertex, v: Vertex) -> int:
+        total = 0
+        # Old * old * old.
+        self.cost.charge("structure_lookup")
+        total += self._product_abc.get(u, v)
+        # dA * (B_old * C_old).
+        delta_a = self._delta_a_by_left.get(u, _EMPTY_DICT)
+        for x, a_sign in delta_a.items():
+            self.cost.charge("structure_lookup")
+            total += a_sign * self._product_bc.get(x, v)
+        # (A_old * B_old) * dC.
+        delta_c = self._delta_c_by_right.get(v, _EMPTY_DICT)
+        for y, c_sign in delta_c.items():
+            self.cost.charge("structure_lookup")
+            total += self._product_ab.get(u, y) * c_sign
+        # dA * B_old * dC.
+        if delta_a and delta_c:
+            b_relation = self.relation(2)
+            for x, a_sign in delta_a.items():
+                for y, c_sign in delta_c.items():
+                    self.cost.charge("adjacency_probe")
+                    total += a_sign * c_sign * self._old_b_entry(b_relation, x, y)
+        # A * dB * C  (all combinations that use a new B edge).
+        if self._delta_b:
+            a_forward = self.relation(1).forward.get(u, _EMPTY_SET)
+            c_backward = self.relation(3).backward.get(v, _EMPTY_SET)
+            for (x, y), b_sign in self._delta_b.items():
+                self.cost.charge("adjacency_probe", 2)
+                if x in a_forward and y in c_backward:
+                    total += b_sign
+        return total
+
+    def _old_b_entry(self, b_relation: _ChainRelation, x: Vertex, y: Vertex) -> int:
+        current = 1 if b_relation.has(x, y) else 0
+        return current - self._delta_b.get((x, y), 0)
+
+
+class OracleBackedCounter(DynamicFourCycleCounter):
+    """A general-graph 4-cycle counter driven by a 3-path oracle.
+
+    Implements the Section 8 reduction: every general edge ``{u, v}`` is
+    mirrored (in both orientations) into all three chain relations, whose
+    matrices therefore all equal the graph's adjacency matrix, and the number
+    of 4-cycles through ``{u, v}`` is the oracle's 3-path count ``(u, v)``.
+    """
+
+    name = "oracle-backed"
+
+    def __init__(self, oracle: ThreePathOracle, record_metrics: bool = False) -> None:
+        super().__init__(record_metrics=record_metrics)
+        self._oracle = oracle
+        # Share one cost model so oracle work shows up in the counter's totals.
+        self._oracle.cost = self.cost
+
+    @property
+    def oracle(self) -> ThreePathOracle:
+        return self._oracle
+
+    def _three_paths(self, u: Vertex, v: Vertex) -> int:
+        return self._oracle.count_three_paths(u, v)
+
+    def _apply_structure_delta(self, u: Vertex, v: Vertex, sign: int) -> None:
+        for position in CHAIN_POSITIONS:
+            self._oracle.update(position, u, v, sign)
+            self._oracle.update(position, v, u, sign)
+
+
+def _add_nested(
+    store: Dict[Vertex, Dict[Vertex, int]], key: Vertex, subkey: Vertex, sign: int
+) -> None:
+    inner = store.get(key)
+    if inner is None:
+        inner = {}
+        store[key] = inner
+    value = inner.get(subkey, 0) + sign
+    if value == 0:
+        inner.pop(subkey, None)
+        if not inner:
+            store.pop(key, None)
+    else:
+        inner[subkey] = value
+
+
+def _add_flat(store: Dict[tuple, int], key: tuple, sign: int) -> None:
+    value = store.get(key, 0) + sign
+    if value == 0:
+        store.pop(key, None)
+    else:
+        store[key] = value
+
+
+def _estimate_chain_cost(job: ChainProductJob) -> int:
+    """A crude upper estimate of a chain job's total work (used for budgeting)."""
+    return max(1, job.operations_done) if job.is_complete else _estimate_from_matrices(job)
+
+
+def _estimate_from_matrices(job: ChainProductJob) -> int:
+    total = 0
+    matrices = getattr(job, "_matrices", [])
+    previous_nnz = 0
+    for index, matrix in enumerate(matrices):
+        nnz = matrix.nnz
+        if index == 0:
+            previous_nnz = nnz
+            continue
+        total += max(previous_nnz, 1) * max(nnz, 1)
+        previous_nnz = max(previous_nnz, nnz)
+    return max(total, 1)
+
+
+#: Shared immutable empties.
+_EMPTY_SET: frozenset = frozenset()
+_EMPTY_DICT: Dict[Vertex, int] = {}

@@ -1,0 +1,49 @@
+"""General-graph counter built on the phase + FMM oracle.
+
+:class:`PhaseFMMCounter` is :class:`~repro.core.oracles.OracleBackedCounter`
+specialised to :class:`~repro.core.oracles.PhaseThreePathOracle`: the exact
+phase decomposition with old-phase products computed by (fast) matrix
+multiplication spread across the phase.  It exposes the phase parameters so
+benchmarks (E6, E9) can sweep them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.oracles import OracleBackedCounter, PhaseThreePathOracle
+
+
+class PhaseFMMCounter(OracleBackedCounter):
+    """4-cycle counter using phases and FMM old-phase products (exact)."""
+
+    name = "phase-fmm"
+
+    def __init__(
+        self,
+        phase_length: Optional[int] = None,
+        delta: Optional[float] = None,
+        min_phase_length: int = 16,
+        record_metrics: bool = False,
+    ) -> None:
+        oracle = PhaseThreePathOracle(
+            phase_length=phase_length,
+            delta=delta,
+            min_phase_length=min_phase_length,
+        )
+        super().__init__(oracle=oracle, record_metrics=record_metrics)
+
+    @property
+    def phase_oracle(self) -> PhaseThreePathOracle:
+        """The underlying phase oracle (typed accessor)."""
+        oracle = self.oracle
+        assert isinstance(oracle, PhaseThreePathOracle)
+        return oracle
+
+    @property
+    def phases_completed(self) -> int:
+        return self.phase_oracle.phases_completed
+
+    @property
+    def phase_length(self) -> int:
+        return self.phase_oracle.phase_length

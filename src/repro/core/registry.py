@@ -1,0 +1,52 @@
+"""Registry of the available dynamic 4-cycle counters.
+
+The harness, the CLI, and the benchmarks look counters up by name so that
+experiment definitions stay declarative.  Third-party counters can be added at
+runtime with :func:`register_counter`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.assadi_shah import AssadiShahCounter
+from repro.core.base import DynamicFourCycleCounter
+from repro.core.brute_force import BruteForceCounter
+from repro.core.hhh22 import HHH22Counter
+from repro.core.phase_fmm import PhaseFMMCounter
+from repro.core.wedge_counter import WedgeCounter
+from repro.exceptions import ConfigurationError
+
+CounterFactory = Callable[..., DynamicFourCycleCounter]
+
+_REGISTRY: Dict[str, CounterFactory] = {}
+
+
+def register_counter(name: str, factory: CounterFactory, overwrite: bool = False) -> None:
+    """Register a counter factory under ``name``."""
+    if not overwrite and name in _REGISTRY:
+        raise ConfigurationError(f"counter {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_counters() -> List[str]:
+    """The sorted list of registered counter names."""
+    return sorted(_REGISTRY)
+
+
+def create_counter(name: str, **kwargs) -> DynamicFourCycleCounter:
+    """Instantiate the counter registered under ``name``."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown counter {name!r}; available: {', '.join(available_counters())}"
+        )
+    return factory(**kwargs)
+
+
+# Built-in counters.
+register_counter(BruteForceCounter.name, BruteForceCounter)
+register_counter(WedgeCounter.name, WedgeCounter)
+register_counter(HHH22Counter.name, HHH22Counter)
+register_counter(PhaseFMMCounter.name, PhaseFMMCounter)
+register_counter(AssadiShahCounter.name, AssadiShahCounter)

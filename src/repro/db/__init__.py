@@ -1,0 +1,18 @@
+"""Database layer: relations, cyclic joins, and incremental view maintenance."""
+
+from repro.db.ivm import CyclicJoinCountView, TupleUpdate
+from repro.db.join import count_cyclic_join, count_two_hop_join, relations_to_layered_graph
+from repro.db.relation import Relation
+from repro.db.schema import RelationSchema, four_cycle_schemas, validate_cyclic_chain
+
+__all__ = [
+    "Relation",
+    "RelationSchema",
+    "four_cycle_schemas",
+    "validate_cyclic_chain",
+    "count_cyclic_join",
+    "count_two_hop_join",
+    "relations_to_layered_graph",
+    "CyclicJoinCountView",
+    "TupleUpdate",
+]

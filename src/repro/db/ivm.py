@@ -1,0 +1,131 @@
+"""Incremental view maintenance (IVM) of the cyclic join count.
+
+This is the database-facing API of the reproduction: a
+:class:`CyclicJoinCountView` holds four binary relations forming the cyclic
+join ``A ⋈ B ⋈ C ⋈ D`` and keeps the join *count* up to date under tuple
+insertions and deletions — without ever materializing the join — by delegating
+to a :class:`~repro.core.layered.LayeredFourCycleCounter` (Section 1: the join
+size equals the number of layered 4-cycles, and the per-update delta is the
+number of cycles through the updated tuple).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
+
+from repro.core.layered import LayeredFourCycleCounter
+from repro.core.oracles import ThreePathOracle
+from repro.db.join import count_cyclic_join
+from repro.db.relation import Relation
+from repro.db.schema import RelationSchema, four_cycle_schemas, validate_cyclic_chain
+from repro.exceptions import SchemaError
+
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class TupleUpdate:
+    """One tuple insertion or deletion against a named relation."""
+
+    relation: str
+    left: Value
+    right: Value
+    is_insert: bool = True
+
+    @classmethod
+    def insert(cls, relation: str, left: Value, right: Value) -> "TupleUpdate":
+        return cls(relation, left, right, True)
+
+    @classmethod
+    def delete(cls, relation: str, left: Value, right: Value) -> "TupleUpdate":
+        return cls(relation, left, right, False)
+
+
+class CyclicJoinCountView:
+    """A continuously maintained ``COUNT(*)`` view over a cyclic 4-join."""
+
+    def __init__(
+        self,
+        schemas: Optional[Sequence[RelationSchema]] = None,
+        oracle_factory: Optional[Callable[[], ThreePathOracle]] = None,
+    ) -> None:
+        if schemas is None:
+            schemas = four_cycle_schemas()
+        if len(schemas) != 4:
+            raise SchemaError(f"the cyclic 4-join view needs four relations, got {len(schemas)}")
+        validate_cyclic_chain(list(schemas))
+        self._schemas = list(schemas)
+        self._relations: Dict[str, Relation] = {
+            schema.name: Relation(schema) for schema in self._schemas
+        }
+        # The counter works on the canonical relation names A..D in chain order.
+        self._canonical_names = ("A", "B", "C", "D")
+        self._name_map = {
+            schema.name: canonical
+            for schema, canonical in zip(self._schemas, self._canonical_names)
+        }
+        self._counter = LayeredFourCycleCounter(oracle_factory=oracle_factory, mirror_graph=False)
+        self._updates_processed = 0
+
+    # -- public API --------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """The current size of the cyclic join."""
+        return self._counter.count
+
+    @property
+    def updates_processed(self) -> int:
+        return self._updates_processed
+
+    def relation(self, name: str) -> Relation:
+        """The named base relation (read-only use only)."""
+        relation = self._relations.get(name)
+        if relation is None:
+            raise SchemaError(
+                f"unknown relation {name!r}; expected one of {sorted(self._relations)}"
+            )
+        return relation
+
+    def relation_names(self) -> List[str]:
+        return [schema.name for schema in self._schemas]
+
+    def insert(self, relation: str, left: Value, right: Value) -> int:
+        """Insert a tuple and return the updated join count."""
+        return self.apply(TupleUpdate.insert(relation, left, right))
+
+    def delete(self, relation: str, left: Value, right: Value) -> int:
+        """Delete a tuple and return the updated join count."""
+        return self.apply(TupleUpdate.delete(relation, left, right))
+
+    def apply(self, update: TupleUpdate) -> int:
+        """Apply one tuple update and return the updated join count."""
+        relation = self.relation(update.relation)
+        canonical = self._name_map[update.relation]
+        if update.is_insert:
+            relation.insert(update.left, update.right)
+            self._counter.insert(canonical, update.left, update.right)
+        else:
+            relation.delete(update.left, update.right)
+            self._counter.delete(canonical, update.left, update.right)
+        self._updates_processed += 1
+        return self._counter.count
+
+    def apply_all(self, updates: Iterable[TupleUpdate]) -> int:
+        for update in updates:
+            self.apply(update)
+        return self._counter.count
+
+    # -- validation -----------------------------------------------------------------------
+    def recompute(self) -> int:
+        """Recompute the join size from scratch (for validation / tests)."""
+        ordered = [self._relations[schema.name] for schema in self._schemas]
+        return count_cyclic_join(ordered)
+
+    def is_consistent(self) -> bool:
+        """Whether the maintained count matches a from-scratch recomputation."""
+        return self.count == self.recompute()
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{name}={len(rel)}" for name, rel in self._relations.items())
+        return f"CyclicJoinCountView(count={self.count}, {sizes})"

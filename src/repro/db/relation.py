@@ -1,0 +1,113 @@
+"""Dynamic binary relations (sets of attribute-value pairs).
+
+A :class:`Relation` is the database-side twin of one layer-to-layer edge set of
+the layered graph: tuples are inserted and deleted one at a time, duplicates
+are rejected (the paper's graphs are simple), and both directions of access are
+indexed so joins and the IVM engine can probe either attribute in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set
+
+from repro.db.schema import RelationSchema
+from repro.exceptions import DuplicateTupleError, MissingTupleError
+
+Value = Hashable
+
+
+class Relation:
+    """A dynamic binary relation with per-attribute indexes."""
+
+    def __init__(self, schema: RelationSchema, tuples: Iterable[tuple[Value, Value]] = ()) -> None:
+        self.schema = schema
+        self._by_left: Dict[Value, Set[Value]] = {}
+        self._by_right: Dict[Value, Set[Value]] = {}
+        self._size = 0
+        for left, right in tuples:
+            self.insert(left, right)
+
+    # -- structure -----------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def size(self) -> int:
+        """Number of tuples currently in the relation."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, pair: tuple[Value, Value]) -> bool:
+        left, right = pair
+        return self.contains(left, right)
+
+    def contains(self, left: Value, right: Value) -> bool:
+        matches = self._by_left.get(left)
+        return matches is not None and right in matches
+
+    def tuples(self) -> Iterator[tuple[Value, Value]]:
+        """Iterate over all tuples as ``(left, right)`` pairs."""
+        for left, rights in self._by_left.items():
+            for right in rights:
+                yield (left, right)
+
+    def matching_left(self, left: Value) -> Set[Value]:
+        """All right-attribute values paired with ``left`` (live view)."""
+        return self._by_left.get(left, _EMPTY_SET)
+
+    def matching_right(self, right: Value) -> Set[Value]:
+        """All left-attribute values paired with ``right`` (live view)."""
+        return self._by_right.get(right, _EMPTY_SET)
+
+    def left_values(self) -> Set[Value]:
+        return {value for value, rights in self._by_left.items() if rights}
+
+    def right_values(self) -> Set[Value]:
+        return {value for value, lefts in self._by_right.items() if lefts}
+
+    def degree_left(self, left: Value) -> int:
+        """Number of tuples whose left attribute is ``left``."""
+        return len(self._by_left.get(left, _EMPTY_SET))
+
+    def degree_right(self, right: Value) -> int:
+        """Number of tuples whose right attribute is ``right``."""
+        return len(self._by_right.get(right, _EMPTY_SET))
+
+    # -- updates -------------------------------------------------------------------
+    def insert(self, left: Value, right: Value) -> None:
+        """Insert the tuple ``(left, right)``."""
+        if self.contains(left, right):
+            raise DuplicateTupleError(
+                f"tuple ({left!r}, {right!r}) is already in relation {self.name}"
+            )
+        self._by_left.setdefault(left, set()).add(right)
+        self._by_right.setdefault(right, set()).add(left)
+        self._size += 1
+
+    def delete(self, left: Value, right: Value) -> None:
+        """Delete the tuple ``(left, right)``."""
+        if not self.contains(left, right):
+            raise MissingTupleError(
+                f"tuple ({left!r}, {right!r}) is not in relation {self.name}"
+            )
+        self._by_left[left].discard(right)
+        self._by_right[right].discard(left)
+        self._size -= 1
+
+    # -- derived -------------------------------------------------------------------
+    def copy(self) -> "Relation":
+        clone = Relation(self.schema)
+        clone._by_left = {value: set(rights) for value, rights in self._by_left.items()}
+        clone._by_right = {value: set(lefts) for value, lefts in self._by_right.items()}
+        clone._size = self._size
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema}, size={self._size})"
+
+
+#: Shared immutable empty set.
+_EMPTY_SET: frozenset = frozenset()

@@ -1,0 +1,70 @@
+"""Relation schemas for the database framing of the paper.
+
+The paper's motivating database problem (Section 1, Figure 1): four binary
+relations ``A(L1, L2)``, ``B(L2, L3)``, ``C(L3, L4)``, ``D(L4, L1)`` over
+attributes ``L1..L4``, maintained under tuple insertions and deletions, with
+the size of the cyclic join reported after every update.  A schema here is
+simply the ordered pair of attribute names of a binary relation, plus helpers
+to check that a sequence of schemas chains into a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The schema of a binary relation: a name and its two attributes."""
+
+    name: str
+    left_attribute: str
+    right_attribute: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if self.left_attribute == self.right_attribute:
+            raise SchemaError(
+                f"relation {self.name!r} must join two distinct attributes, "
+                f"got {self.left_attribute!r} twice"
+            )
+
+    @property
+    def attributes(self) -> tuple[str, str]:
+        return (self.left_attribute, self.right_attribute)
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.left_attribute}, {self.right_attribute})"
+
+
+def validate_cyclic_chain(schemas: Sequence[RelationSchema]) -> None:
+    """Check that the schemas chain into a cycle: the right attribute of each
+    relation equals the left attribute of the next (wrapping around).
+
+    Raises :class:`SchemaError` otherwise.
+    """
+    if len(schemas) < 2:
+        raise SchemaError("a cyclic join needs at least two relations")
+    for index, schema in enumerate(schemas):
+        following = schemas[(index + 1) % len(schemas)]
+        if schema.right_attribute != following.left_attribute:
+            raise SchemaError(
+                f"relations do not chain: {schema} is followed by {following}, but "
+                f"{schema.right_attribute!r} != {following.left_attribute!r}"
+            )
+
+
+def four_cycle_schemas() -> tuple[RelationSchema, RelationSchema, RelationSchema, RelationSchema]:
+    """The canonical 4-cycle join schema of the paper."""
+    schemas = (
+        RelationSchema("A", "L1", "L2"),
+        RelationSchema("B", "L2", "L3"),
+        RelationSchema("C", "L3", "L4"),
+        RelationSchema("D", "L4", "L1"),
+    )
+    validate_cyclic_chain(schemas)
+    return schemas

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  The hierarchy mirrors the subsystems of the
+package: graph errors, layered-graph errors, update-stream errors, theory
+(constraint-system) errors, matrix-multiplication errors, and database/IVM
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class InvalidUpdateError(ReproError):
+    """Raised when an edge update is malformed or inconsistent with the
+    current graph state (e.g. deleting a never-inserted edge while replaying a
+    stream in strict mode)."""
+
+
+class SelfLoopError(GraphError, InvalidUpdateError):
+    """Raised when an operation would create a self-loop.
+
+    The paper only considers simple graphs (Section 2.1): no self-loops and no
+    multi-edges, so attempting ``insert_edge(v, v)`` is always an error.  It is
+    both a graph error and an update error because self-loops can surface
+    either when mutating a graph directly or when constructing an update.
+    """
+
+
+class DuplicateEdgeError(GraphError):
+    """Raised when inserting an edge that is already present.
+
+    Simple graphs do not allow multi-edges; a duplicate insertion almost always
+    indicates a bug in the update stream, so it is rejected loudly instead of
+    being ignored.
+    """
+
+
+class MissingEdgeError(GraphError):
+    """Raised when deleting an edge that is not present in the graph."""
+
+
+class UnknownVertexError(GraphError):
+    """Raised when an operation references a vertex the graph has never seen
+    and the operation requires it to exist (e.g. a degree query with
+    ``strict=True``)."""
+
+
+class LayerError(GraphError):
+    """Raised for violations of the 4-layered graph structure.
+
+    Examples: referencing a relation other than ``A``/``B``/``C``/``D`` or
+    adding an edge whose endpoints are not in the two layers that the relation
+    connects.
+    """
+
+
+class CounterStateError(ReproError):
+    """Raised when a dynamic counter is driven into an inconsistent state,
+    for instance querying a counter that has been explicitly invalidated."""
+
+
+class MatmulError(ReproError):
+    """Base class for matrix-multiplication engine errors."""
+
+
+class DimensionMismatchError(MatmulError):
+    """Raised when two matrices with incompatible shapes are multiplied."""
+
+
+class ConstraintError(ReproError):
+    """Raised when a constraint system is infeasible or a requested parameter
+    set violates the paper's constraints."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid configuration values (negative phase sizes,
+    out-of-range exponents, unknown counter names, and similar)."""
+
+
+class RelationError(ReproError):
+    """Base class for errors raised by the database layer."""
+
+
+class DuplicateTupleError(RelationError):
+    """Raised when inserting a tuple that is already present in a relation
+    (relations are sets, exactly like the paper's simple-graph edges)."""
+
+
+class MissingTupleError(RelationError):
+    """Raised when deleting a tuple that is not present in a relation."""
+
+
+class SchemaError(RelationError):
+    """Raised when relations are combined with incompatible schemas, e.g. a
+    cyclic join whose attribute chain does not close."""

@@ -1,0 +1,70 @@
+"""Graph substrate: dynamic simple graphs, 4-layered graphs, updates,
+degree classes, and static counting oracles."""
+
+from repro.graph.degree_classes import (
+    ChunkThresholds,
+    ClassThresholds,
+    EndpointClass,
+    HysteresisClassifier,
+    MiddleClass,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.layered_graph import (
+    CLASSIFICATION_RELATIONS,
+    LAYER_RELATIONS,
+    RELATION_LAYERS,
+    LayeredGraph,
+)
+from repro.graph.reduction import (
+    expand_general_stream,
+    expand_general_update,
+    expected_layered_cycle_count,
+    query_pair,
+)
+from repro.graph.static_counts import (
+    count_closed_four_walks,
+    count_four_cycles_edge_list,
+    count_four_cycles_through_edge,
+    count_four_cycles_trace,
+    count_four_cycles_wedges,
+    count_three_paths,
+    count_wedges_between,
+    total_wedges,
+)
+from repro.graph.updates import (
+    RELATION_NAMES,
+    EdgeUpdate,
+    LayeredEdgeUpdate,
+    UpdateKind,
+    UpdateStream,
+)
+
+__all__ = [
+    "ChunkThresholds",
+    "ClassThresholds",
+    "EndpointClass",
+    "HysteresisClassifier",
+    "MiddleClass",
+    "DynamicGraph",
+    "LayeredGraph",
+    "RELATION_LAYERS",
+    "LAYER_RELATIONS",
+    "CLASSIFICATION_RELATIONS",
+    "expand_general_update",
+    "expand_general_stream",
+    "query_pair",
+    "expected_layered_cycle_count",
+    "count_closed_four_walks",
+    "count_four_cycles_trace",
+    "count_four_cycles_wedges",
+    "count_four_cycles_edge_list",
+    "count_four_cycles_through_edge",
+    "count_three_paths",
+    "count_wedges_between",
+    "total_wedges",
+    "EdgeUpdate",
+    "LayeredEdgeUpdate",
+    "UpdateKind",
+    "UpdateStream",
+    "RELATION_NAMES",
+]

@@ -1,0 +1,297 @@
+"""Degree-class machinery of Sections 3.1, 4, 6 and 7.
+
+The algorithms partition vertices by degree:
+
+* Endpoint layers ``L1``/``L4`` (classified by their degree in ``A``/``C``):
+  **High** (degree in ``[m^{2/3-eps}, n]``), **Medium**
+  (``[m^{1/3+eps}, 2 m^{2/3-eps}]``), **Low** (``[0, 2 m^{1/3+eps}]``), and —
+  once Assumption 1 is dropped (Section 6) — **Tiny**
+  (``[0, 2 m^{1/3-2eps}]``).
+* Middle layers ``L2``/``L3`` (classified by their combined degree in the two
+  incident data relations): **Dense** (``[m^{2/3-eps}, n]``), **Sparse**
+  (``[0, 2 m^{2/3-eps}]``), and **Tiny**.
+* Inside the warm-up algorithm (Section 3.1), the per-chunk classes
+  **chunk-Dense** / **chunk-Sparse** with threshold ``m^{1/3-eps2}`` on the
+  degree *within a chunk* ``B_i``.
+
+Every pair of adjacent classes overlaps by a factor of two.  The overlap is
+what makes Section 7 work: a vertex only changes class after its degree has
+doubled or halved since it entered the overlap region, so the (expensive)
+rebuilding of its data structures can be charged to the edge updates that
+caused the degree change while keeping a *worst-case* bound — the rebuild for
+a vertex starts when it enters the overlap region and is spread over the
+updates incident to it.  :class:`HysteresisClassifier` implements exactly that
+"only reclassify after leaving the overlap" rule.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.exceptions import ConfigurationError
+
+Vertex = Hashable
+
+
+class EndpointClass(enum.Enum):
+    """Degree classes for vertices of the endpoint layers ``L1`` and ``L4``."""
+
+    TINY = "tiny"
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+class MiddleClass(enum.Enum):
+    """Degree classes for vertices of the middle layers ``L2`` and ``L3``."""
+
+    TINY = "tiny"
+    SPARSE = "sparse"
+    DENSE = "dense"
+
+
+@dataclass(frozen=True)
+class ClassThresholds:
+    """The numeric degree thresholds for a given edge count ``m`` and ``eps``.
+
+    The fields follow the paper's definitions.  ``*_min`` is the smallest
+    degree at which a vertex is *allowed* to be in the class, ``*_max`` the
+    largest; adjacent classes overlap by a factor of two.
+    """
+
+    m: int
+    eps: float
+    tiny_max: float
+    low_max: float
+    medium_min: float
+    medium_max: float
+    high_min: float
+    sparse_max: float
+    dense_min: float
+
+    @classmethod
+    def from_edge_count(cls, m: int, eps: float) -> "ClassThresholds":
+        """Compute thresholds for the current number of edges ``m``.
+
+        ``m`` may be zero (the dynamic graph starts empty); all thresholds are
+        then zero except the upper limits, which are at least one so that the
+        first few edges classify every vertex as tiny/low/sparse.
+        """
+        if m < 0:
+            raise ConfigurationError(f"edge count must be non-negative, got {m}")
+        if eps < 0 or eps > 1 / 6:
+            raise ConfigurationError(
+                f"eps must lie in [0, 1/6] (constraint Eq. (11) of the paper), got {eps}"
+            )
+        effective_m = max(m, 1)
+        third = effective_m ** (1.0 / 3.0)
+        two_thirds = effective_m ** (2.0 / 3.0)
+        tiny_max = 2.0 * effective_m ** (1.0 / 3.0 - 2.0 * eps)
+        low_max = 2.0 * effective_m ** (1.0 / 3.0 + eps)
+        medium_min = effective_m ** (1.0 / 3.0 + eps)
+        medium_max = 2.0 * effective_m ** (2.0 / 3.0 - eps)
+        high_min = effective_m ** (2.0 / 3.0 - eps)
+        sparse_max = 2.0 * effective_m ** (2.0 / 3.0 - eps)
+        dense_min = effective_m ** (2.0 / 3.0 - eps)
+        # Guard against degenerate tiny graphs where the power laws collapse.
+        del third, two_thirds
+        return cls(
+            m=m,
+            eps=eps,
+            tiny_max=tiny_max,
+            low_max=low_max,
+            medium_min=medium_min,
+            medium_max=medium_max,
+            high_min=high_min,
+            sparse_max=sparse_max,
+            dense_min=dense_min,
+        )
+
+    # -- admissibility -----------------------------------------------------
+    def admissible_endpoint_classes(self, degree: int) -> tuple[EndpointClass, ...]:
+        """All endpoint classes whose degree range contains ``degree``.
+
+        Ranges overlap, so the result can contain one or two classes (two when
+        the vertex sits in a transition region).
+        """
+        classes: list[EndpointClass] = []
+        if degree <= self.tiny_max:
+            classes.append(EndpointClass.TINY)
+        if degree <= self.low_max:
+            classes.append(EndpointClass.LOW)
+        if self.medium_min <= degree <= self.medium_max:
+            classes.append(EndpointClass.MEDIUM)
+        if degree >= self.high_min:
+            classes.append(EndpointClass.HIGH)
+        if not classes:
+            # Numerically impossible in theory (the ranges cover [0, n]); keep
+            # a safe fallback for pathological float corner cases.
+            classes.append(EndpointClass.HIGH if degree > self.medium_max else EndpointClass.LOW)
+        return tuple(classes)
+
+    def admissible_middle_classes(self, degree: int) -> tuple[MiddleClass, ...]:
+        """All middle classes whose degree range contains ``degree``."""
+        classes: list[MiddleClass] = []
+        if degree <= self.tiny_max:
+            classes.append(MiddleClass.TINY)
+        if degree <= self.sparse_max:
+            classes.append(MiddleClass.SPARSE)
+        if degree >= self.dense_min:
+            classes.append(MiddleClass.DENSE)
+        if not classes:
+            classes.append(MiddleClass.DENSE if degree > self.sparse_max else MiddleClass.SPARSE)
+        return tuple(classes)
+
+    def canonical_endpoint_class(self, degree: int) -> EndpointClass:
+        """A deterministic, non-overlapping class assignment.
+
+        Used where a single class is needed without hysteresis (for example
+        when classifying a static snapshot): below ``tiny_max / 2`` is tiny,
+        below ``medium_min`` is low, below ``high_min`` is medium, else high.
+        """
+        if degree < self.tiny_max / 2.0:
+            return EndpointClass.TINY
+        if degree < self.medium_min:
+            return EndpointClass.LOW
+        if degree < self.high_min:
+            return EndpointClass.MEDIUM
+        return EndpointClass.HIGH
+
+    def canonical_middle_class(self, degree: int) -> MiddleClass:
+        """Deterministic single-class assignment for middle-layer vertices."""
+        if degree < self.tiny_max / 2.0:
+            return MiddleClass.TINY
+        if degree < self.dense_min:
+            return MiddleClass.SPARSE
+        return MiddleClass.DENSE
+
+
+@dataclass(frozen=True)
+class ChunkThresholds:
+    """Per-chunk dense/sparse thresholds of the warm-up algorithm.
+
+    Inside a chunk ``B_i`` of size ``m^{2/3 - eps1}``, a vertex of ``L2`` or
+    ``L3`` is chunk-dense when its degree *within the chunk* is at least
+    ``m^{1/3 - eps2}`` and chunk-sparse otherwise (Section 3.1).
+    """
+
+    m: int
+    eps1: float
+    eps2: float
+    chunk_size: float
+    chunk_dense_min: float
+
+    @classmethod
+    def from_edge_count(cls, m: int, eps1: float, eps2: float) -> "ChunkThresholds":
+        if m < 0:
+            raise ConfigurationError(f"edge count must be non-negative, got {m}")
+        effective_m = max(m, 1)
+        chunk_size = effective_m ** (2.0 / 3.0 - eps1)
+        chunk_dense_min = effective_m ** (1.0 / 3.0 - eps2)
+        return cls(m=m, eps1=eps1, eps2=eps2, chunk_size=chunk_size, chunk_dense_min=chunk_dense_min)
+
+    def is_chunk_dense(self, degree_in_chunk: int) -> bool:
+        """Whether a degree within a single chunk makes the vertex chunk-dense."""
+        return degree_in_chunk >= self.chunk_dense_min
+
+
+class HysteresisClassifier:
+    """Tracks per-vertex classes and only reclassifies outside the overlap.
+
+    The paper's Assumption 2 (vertices never change class) is removed in
+    Section 7 by exploiting the overlapping class ranges: a vertex that enters
+    an overlap region keeps its old class while the data structures for the
+    prospective new class are built in the background, and the switch happens
+    only when the degree leaves the region.  This classifier reproduces that
+    rule for endpoint classes; middle classes use the analogous dense/sparse
+    overlap.
+
+    The classifier is deliberately independent of any particular graph object:
+    callers push ``(vertex, new_degree)`` observations and read back the stable
+    class.  :meth:`observe` returns the transition (``old``, ``new``) when a
+    reclassification happens, so the counters can trigger their Section 7
+    rebuild hooks.
+    """
+
+    def __init__(self, thresholds: ClassThresholds, kind: str = "endpoint") -> None:
+        if kind not in ("endpoint", "middle"):
+            raise ConfigurationError(f"kind must be 'endpoint' or 'middle', got {kind!r}")
+        self._thresholds = thresholds
+        self._kind = kind
+        self._classes: Dict[Vertex, object] = {}
+
+    @property
+    def thresholds(self) -> ClassThresholds:
+        return self._thresholds
+
+    def set_thresholds(self, thresholds: ClassThresholds) -> None:
+        """Replace the thresholds (e.g. after ``m`` changed substantially).
+
+        Existing assignments are kept; vertices migrate lazily on their next
+        :meth:`observe` call, mirroring the paper's rule that rebuild work is
+        charged to updates incident to the transitioning vertex.
+        """
+        self._thresholds = thresholds
+
+    def current_class(self, vertex: Vertex) -> Optional[object]:
+        """The currently assigned class, or ``None`` if never observed."""
+        return self._classes.get(vertex)
+
+    def observe(self, vertex: Vertex, degree: int):
+        """Record the new degree of ``vertex`` and return a transition if any.
+
+        Returns ``None`` when the class did not change and the tuple
+        ``(old_class, new_class)`` when it did (``old_class`` is ``None`` on
+        first observation).
+        """
+        admissible = self._admissible(degree)
+        current = self._classes.get(vertex)
+        if current is not None and current in admissible:
+            return None
+        new_class = admissible[len(admissible) // 2] if len(admissible) > 1 else admissible[0]
+        # Prefer the class adjacent to the current one so transitions move one
+        # step at a time (tiny -> low -> medium -> high), as in the paper.
+        if current is not None:
+            new_class = self._closest_class(current, admissible)
+        self._classes[vertex] = new_class
+        return (current, new_class)
+
+    def drop(self, vertex: Vertex) -> None:
+        """Forget a vertex (used when a vertex becomes isolated)."""
+        self._classes.pop(vertex, None)
+
+    def vertices_in_class(self, cls: object) -> list[Vertex]:
+        """All vertices currently assigned to ``cls``."""
+        return [vertex for vertex, assigned in self._classes.items() if assigned is cls]
+
+    def class_sizes(self) -> Dict[object, int]:
+        """Histogram of class -> number of assigned vertices."""
+        sizes: Dict[object, int] = {}
+        for assigned in self._classes.values():
+            sizes[assigned] = sizes.get(assigned, 0) + 1
+        return sizes
+
+    # -- internals -----------------------------------------------------------
+    def _admissible(self, degree: int):
+        if self._kind == "endpoint":
+            return self._thresholds.admissible_endpoint_classes(degree)
+        return self._thresholds.admissible_middle_classes(degree)
+
+    def _closest_class(self, current: object, admissible) -> object:
+        order = (
+            [EndpointClass.TINY, EndpointClass.LOW, EndpointClass.MEDIUM, EndpointClass.HIGH]
+            if self._kind == "endpoint"
+            else [MiddleClass.TINY, MiddleClass.SPARSE, MiddleClass.DENSE]
+        )
+        current_position = order.index(current) if current in order else 0
+        best = admissible[0]
+        best_distance = math.inf
+        for candidate in admissible:
+            distance = abs(order.index(candidate) - current_position)
+            if distance < best_distance:
+                best = candidate
+                best_distance = distance
+        return best

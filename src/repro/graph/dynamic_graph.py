@@ -1,0 +1,228 @@
+"""A simple undirected graph under fully dynamic edge updates.
+
+:class:`DynamicGraph` is the substrate every general-graph counter in
+:mod:`repro.core` builds on.  It stores adjacency sets, keeps the edge count in
+sync, enforces the simple-graph invariants the paper assumes (Section 2.1:
+no self-loops, no multi-edges), and exposes exactly the primitives the
+algorithms need: neighborhood iteration, degree queries, membership tests, and
+an adjacency-matrix export used by the brute-force reference counter and by
+the matrix-multiplication engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Sequence, Set
+
+import numpy as np
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    MissingEdgeError,
+    SelfLoopError,
+    UnknownVertexError,
+)
+from repro.graph.updates import EdgeUpdate, UpdateKind, _canonical_order
+
+Vertex = Hashable
+
+
+class DynamicGraph:
+    """A simple undirected graph supporting edge insertions and deletions.
+
+    Vertices are created lazily: inserting an edge implicitly adds its
+    endpoints, and :meth:`add_vertex` can pre-register isolated vertices (the
+    paper's graphs have a fixed vertex set ``V`` with edges arriving over
+    time).  Deleting the last edge of a vertex keeps the vertex registered so
+    degree-0 vertices remain queryable.
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[tuple[Vertex, Vertex]] = (),
+    ) -> None:
+        self._adjacency: Dict[Vertex, Set[Vertex]] = {}
+        self._num_edges = 0
+        for vertex in vertices:
+            self.add_vertex(vertex)
+        for u, v in edges:
+            self.insert_edge(u, v)
+
+    # -- basic structure ---------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of registered vertices (including isolated ones)."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Current number of edges, the paper's ``m``."""
+        return self._num_edges
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all registered vertices."""
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        """Iterate over all edges, each reported once in canonical order."""
+        for u, neighbors in self._adjacency.items():
+            for v in neighbors:
+                if _canonical_order(u, v)[0] == u:
+                    yield (u, v)
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Register ``vertex`` (a no-op if it already exists)."""
+        if vertex not in self._adjacency:
+            self._adjacency[vertex] = set()
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._adjacency
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether the undirected edge ``{u, v}`` is currently present."""
+        neighbors = self._adjacency.get(u)
+        return neighbors is not None and v in neighbors
+
+    def degree(self, vertex: Vertex, strict: bool = False) -> int:
+        """The degree of ``vertex``; 0 for unknown vertices unless ``strict``."""
+        neighbors = self._adjacency.get(vertex)
+        if neighbors is None:
+            if strict:
+                raise UnknownVertexError(f"vertex {vertex!r} is not in the graph")
+            return 0
+        return len(neighbors)
+
+    def neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """The neighbor set of ``vertex`` (empty set for unknown vertices).
+
+        The returned set is the live internal set; callers must not mutate it.
+        """
+        return self._adjacency.get(vertex, _EMPTY_SET)
+
+    def common_neighbors(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        """Vertices adjacent to both ``u`` and ``v`` (the wedges between them)."""
+        first = self._adjacency.get(u, _EMPTY_SET)
+        second = self._adjacency.get(v, _EMPTY_SET)
+        if len(first) > len(second):
+            first, second = second, first
+        return {w for w in first if w in second}
+
+    # -- updates -----------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> None:
+        """Insert the undirected edge ``{u, v}``.
+
+        Raises :class:`SelfLoopError` for ``u == v`` and
+        :class:`DuplicateEdgeError` if the edge is already present.
+        """
+        if u == v:
+            raise SelfLoopError(f"cannot insert self-loop at vertex {u!r}")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adjacency[u]:
+            raise DuplicateEdgeError(f"edge ({u!r}, {v!r}) is already present")
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._num_edges += 1
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> None:
+        """Delete the undirected edge ``{u, v}``.
+
+        Raises :class:`MissingEdgeError` if the edge is not present.
+        """
+        neighbors = self._adjacency.get(u)
+        if neighbors is None or v not in neighbors:
+            raise MissingEdgeError(f"edge ({u!r}, {v!r}) is not present")
+        neighbors.remove(v)
+        self._adjacency[v].remove(u)
+        self._num_edges -= 1
+
+    def apply(self, update: EdgeUpdate) -> None:
+        """Apply a single :class:`EdgeUpdate` (insert or delete)."""
+        if update.kind is UpdateKind.INSERT:
+            self.insert_edge(update.u, update.v)
+        else:
+            self.delete_edge(update.u, update.v)
+
+    def apply_all(self, updates: Iterable[EdgeUpdate]) -> None:
+        """Apply every update in ``updates`` in order."""
+        for update in updates:
+            self.apply(update)
+
+    # -- derived views -----------------------------------------------------
+    def copy(self) -> "DynamicGraph":
+        """An independent deep copy of the graph."""
+        clone = DynamicGraph()
+        clone._adjacency = {vertex: set(neighbors) for vertex, neighbors in self._adjacency.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map from degree value to the number of vertices with that degree."""
+        histogram: Dict[int, int] = {}
+        for neighbors in self._adjacency.values():
+            degree = len(neighbors)
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram
+
+    def max_degree(self) -> int:
+        """The maximum degree over all vertices (0 for an empty graph)."""
+        if not self._adjacency:
+            return 0
+        return max(len(neighbors) for neighbors in self._adjacency.values())
+
+    def h_index(self) -> int:
+        """The graph h-index: the largest ``h`` with ``h`` vertices of degree
+        at least ``h`` (the parameter of Eppstein–Spiro dynamic counting,
+        mentioned in the paper's related work)."""
+        degrees = sorted(
+            (len(neighbors) for neighbors in self._adjacency.values()), reverse=True
+        )
+        h = 0
+        for position, degree in enumerate(degrees, start=1):
+            if degree >= position:
+                h = position
+            else:
+                break
+        return h
+
+    def vertex_order(self) -> list[Vertex]:
+        """A deterministic ordering of the vertices (sorted when comparable)."""
+        vertices = list(self._adjacency)
+        try:
+            return sorted(vertices)  # type: ignore[type-var]
+        except TypeError:
+            return sorted(vertices, key=repr)
+
+    def adjacency_matrix(
+        self, order: Sequence[Vertex] | None = None, dtype=np.int64
+    ) -> tuple[np.ndarray, list[Vertex]]:
+        """The dense adjacency matrix and the vertex order it uses.
+
+        ``order`` fixes the row/column ordering; by default the deterministic
+        :meth:`vertex_order` is used so repeated exports are comparable.
+        """
+        ordered = list(order) if order is not None else self.vertex_order()
+        index = {vertex: position for position, vertex in enumerate(ordered)}
+        matrix = np.zeros((len(ordered), len(ordered)), dtype=dtype)
+        for u, v in self.edges():
+            if u in index and v in index:
+                matrix[index[u], index[v]] = 1
+                matrix[index[v], index[u]] = 1
+        return matrix, ordered
+
+    def to_edge_set(self) -> set[tuple[Vertex, Vertex]]:
+        """The current edge set as canonical pairs."""
+        return set(self.edges())
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adjacency
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:
+        return f"DynamicGraph(n={self.num_vertices}, m={self.num_edges})"
+
+
+#: Shared immutable empty set returned for unknown vertices.
+_EMPTY_SET: frozenset = frozenset()

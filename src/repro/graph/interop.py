@@ -1,0 +1,84 @@
+"""Optional interoperability with NetworkX.
+
+NetworkX is not a runtime dependency of the package; these helpers import it
+lazily so that users who already model their data as ``networkx.Graph`` objects
+can feed it to the counters (and validate the counters against NetworkX-based
+enumeration in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from repro.exceptions import ConfigurationError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.updates import UpdateStream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx
+
+Vertex = Hashable
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as error:  # pragma: no cover - exercised only without networkx
+        raise ConfigurationError(
+            "networkx is not installed; install the 'dev' extra to use the interop helpers"
+        ) from error
+    return networkx
+
+
+def from_networkx(graph: "networkx.Graph") -> DynamicGraph:
+    """Convert an undirected simple ``networkx.Graph`` into a :class:`DynamicGraph`.
+
+    Self-loops are rejected (the paper's model forbids them); multigraphs and
+    directed graphs are rejected as well.
+    """
+    networkx = _require_networkx()
+    if graph.is_directed() or graph.is_multigraph():
+        raise ConfigurationError("only undirected simple graphs are supported")
+    result = DynamicGraph(vertices=graph.nodes())
+    for u, v in graph.edges():
+        if u == v:
+            raise ConfigurationError(f"self-loop at {u!r} is not allowed in a simple graph")
+        result.insert_edge(u, v)
+    del networkx
+    return result
+
+
+def to_networkx(graph: DynamicGraph) -> "networkx.Graph":
+    """Convert a :class:`DynamicGraph` into a ``networkx.Graph``."""
+    networkx = _require_networkx()
+    result = networkx.Graph()
+    result.add_nodes_from(graph.vertices())
+    result.add_edges_from(graph.edges())
+    return result
+
+
+def stream_from_networkx(graph: "networkx.Graph") -> UpdateStream:
+    """An insertion-only stream that builds the given NetworkX graph."""
+    _require_networkx()
+    return UpdateStream.from_edges((u, v) for u, v in graph.edges() if u != v)
+
+
+def count_four_cycles_networkx(graph: "networkx.Graph") -> int:
+    """Count 4-cycles of a NetworkX graph by counting wedges between pairs.
+
+    Independent of the package's own static counters; used as a third opinion
+    in tests when NetworkX is available.
+    """
+    networkx = _require_networkx()
+    del networkx
+    total_pairs = 0
+    nodes = list(graph.nodes())
+    index = {node: position for position, node in enumerate(nodes)}
+    for first in nodes:
+        neighbors_first = set(graph.neighbors(first))
+        for second in nodes:
+            if index[second] <= index[first]:
+                continue
+            common = len(neighbors_first & set(graph.neighbors(second)))
+            total_pairs += common * (common - 1) // 2
+    return total_pairs // 2

@@ -1,0 +1,322 @@
+"""The 4-layered graph of Section 2.1.
+
+A 4-layered graph has vertex set ``L1 ∪ L2 ∪ L3 ∪ L4`` where each layer is an
+independent set and edges only exist between consecutive layers (wrapping
+around).  The four edge sets are the binary relations
+
+* ``A(L1, L2)``,
+* ``B(L2, L3)``,
+* ``C(L3, L4)``,
+* ``D(L4, L1)``,
+
+exactly the database framing of the paper: layers are attributes, vertices are
+attribute values, edges are tuples, and the number of layered 4-cycles equals
+the size of the cyclic join ``A ⋈ B ⋈ C ⋈ D``.
+
+:class:`LayeredGraph` stores every relation in both directions (left-to-right
+and right-to-left adjacency) so the algorithms can iterate neighborhoods from
+either side in O(degree) time, and exposes static counting utilities (layered
+2-paths, 3-paths, 4-cycles) used as ground truth by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set
+
+import numpy as np
+
+from repro.exceptions import DuplicateEdgeError, LayerError, MissingEdgeError
+from repro.graph.updates import RELATION_NAMES, LayeredEdgeUpdate, UpdateKind
+
+Vertex = Hashable
+
+#: Which (left layer, right layer) each relation connects.
+RELATION_LAYERS: Dict[str, tuple[int, int]] = {
+    "A": (1, 2),
+    "B": (2, 3),
+    "C": (3, 4),
+    "D": (4, 1),
+}
+
+#: For every layer, the (relation, side) pairs that touch it.  ``side`` is
+#: ``"left"`` when vertices of the layer appear as the first attribute of the
+#: relation and ``"right"`` when they appear as the second.
+LAYER_RELATIONS: Dict[int, tuple[tuple[str, str], tuple[str, str]]] = {
+    1: (("A", "left"), ("D", "right")),
+    2: (("B", "left"), ("A", "right")),
+    3: (("C", "left"), ("B", "right")),
+    4: (("D", "left"), ("C", "right")),
+}
+
+#: The relations the paper uses to *classify* vertices of each layer:
+#: ``L1`` by its degree in ``A``, ``L4`` by its degree in ``C`` (Section 3.1),
+#: ``L2`` by its combined degree in ``A`` and ``B``, and ``L3`` by its combined
+#: degree in ``B`` and ``C`` (Section 4).
+CLASSIFICATION_RELATIONS: Dict[int, tuple[tuple[str, str], ...]] = {
+    1: (("A", "left"),),
+    2: (("A", "right"), ("B", "left")),
+    3: (("B", "right"), ("C", "left")),
+    4: (("C", "right"),),
+}
+
+
+class _Relation:
+    """One bipartite relation stored as forward and backward adjacency."""
+
+    __slots__ = ("name", "forward", "backward", "num_edges")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.forward: Dict[Vertex, Set[Vertex]] = {}
+        self.backward: Dict[Vertex, Set[Vertex]] = {}
+        self.num_edges = 0
+
+    def has(self, left: Vertex, right: Vertex) -> bool:
+        neighbors = self.forward.get(left)
+        return neighbors is not None and right in neighbors
+
+    def insert(self, left: Vertex, right: Vertex) -> None:
+        if self.has(left, right):
+            raise DuplicateEdgeError(
+                f"tuple ({left!r}, {right!r}) is already present in relation {self.name}"
+            )
+        self.forward.setdefault(left, set()).add(right)
+        self.backward.setdefault(right, set()).add(left)
+        self.num_edges += 1
+
+    def delete(self, left: Vertex, right: Vertex) -> None:
+        if not self.has(left, right):
+            raise MissingEdgeError(
+                f"tuple ({left!r}, {right!r}) is not present in relation {self.name}"
+            )
+        self.forward[left].discard(right)
+        self.backward[right].discard(left)
+        self.num_edges -= 1
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        for left, rights in self.forward.items():
+            for right in rights:
+                yield (left, right)
+
+
+class LayeredGraph:
+    """A fully dynamic 4-layered graph.
+
+    Vertices are identified by their label *within a layer*: the same label may
+    appear in several layers and denotes distinct vertices (this is exactly how
+    the Section 8 reduction uses the structure: every general vertex is copied
+    into all four layers).
+    """
+
+    def __init__(self, updates: Iterable[LayeredEdgeUpdate] = ()) -> None:
+        self._relations: Dict[str, _Relation] = {name: _Relation(name) for name in RELATION_NAMES}
+        for update in updates:
+            self.apply(update)
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Total number of edges over all four relations (the paper's ``m``)."""
+        return sum(relation.num_edges for relation in self._relations.values())
+
+    def relation_size(self, relation: str) -> int:
+        """Number of tuples currently in ``relation``."""
+        return self._require(relation).num_edges
+
+    def has_edge(self, relation: str, left: Vertex, right: Vertex) -> bool:
+        """Whether ``(left, right)`` is currently a tuple of ``relation``."""
+        return self._require(relation).has(left, right)
+
+    def relation_edges(self, relation: str) -> Iterator[tuple[Vertex, Vertex]]:
+        """Iterate over the tuples of ``relation`` as ``(left, right)`` pairs."""
+        return self._require(relation).edges()
+
+    def neighbors(self, relation: str, vertex: Vertex, side: str = "left") -> Set[Vertex]:
+        """Neighbors of ``vertex`` through ``relation``.
+
+        ``side="left"`` treats ``vertex`` as the left attribute and returns its
+        right-layer neighbors; ``side="right"`` does the converse.  The
+        returned set is live internal state and must not be mutated.
+        """
+        rel = self._require(relation)
+        if side == "left":
+            return rel.forward.get(vertex, _EMPTY_SET)
+        if side == "right":
+            return rel.backward.get(vertex, _EMPTY_SET)
+        raise LayerError(f"side must be 'left' or 'right', got {side!r}")
+
+    def degree(self, relation: str, vertex: Vertex, side: str = "left") -> int:
+        """Degree of ``vertex`` in a single relation, from the given side."""
+        return len(self.neighbors(relation, vertex, side))
+
+    def layer_degree(self, layer: int, vertex: Vertex) -> int:
+        """Total degree of a vertex of ``layer`` over both incident relations."""
+        pairs = LAYER_RELATIONS.get(layer)
+        if pairs is None:
+            raise LayerError(f"layer must be 1..4, got {layer!r}")
+        return sum(self.degree(relation, vertex, side) for relation, side in pairs)
+
+    def classification_degree(self, layer: int, vertex: Vertex) -> int:
+        """The degree the paper uses to classify a vertex of ``layer``.
+
+        ``L1``/``L4`` vertices are classified by their degree in ``A``/``C``
+        only; ``L2``/``L3`` vertices by their combined degree in the two
+        relations other than ``D`` that touch them (Sections 3.1 and 4).
+        """
+        pairs = CLASSIFICATION_RELATIONS.get(layer)
+        if pairs is None:
+            raise LayerError(f"layer must be 1..4, got {layer!r}")
+        return sum(self.degree(relation, vertex, side) for relation, side in pairs)
+
+    def layer_vertices(self, layer: int) -> Set[Vertex]:
+        """All vertices of ``layer`` that currently have at least one edge."""
+        pairs = LAYER_RELATIONS.get(layer)
+        if pairs is None:
+            raise LayerError(f"layer must be 1..4, got {layer!r}")
+        result: Set[Vertex] = set()
+        for relation, side in pairs:
+            rel = self._require(relation)
+            adjacency = rel.forward if side == "left" else rel.backward
+            for vertex, neighbors in adjacency.items():
+                if neighbors:
+                    result.add(vertex)
+        return result
+
+    # -- updates -----------------------------------------------------------
+    def insert(self, relation: str, left: Vertex, right: Vertex) -> None:
+        """Insert tuple ``(left, right)`` into ``relation``."""
+        self._require(relation).insert(left, right)
+
+    def delete(self, relation: str, left: Vertex, right: Vertex) -> None:
+        """Delete tuple ``(left, right)`` from ``relation``."""
+        self._require(relation).delete(left, right)
+
+    def apply(self, update: LayeredEdgeUpdate) -> None:
+        """Apply a single layered update."""
+        if update.kind is UpdateKind.INSERT:
+            self.insert(update.relation, update.left, update.right)
+        else:
+            self.delete(update.relation, update.left, update.right)
+
+    def apply_all(self, updates: Iterable[LayeredEdgeUpdate]) -> None:
+        for update in updates:
+            self.apply(update)
+
+    # -- static counting (ground truth for tests) ---------------------------
+    def count_wedges(self, first: str, second: str, left: Vertex, right: Vertex) -> int:
+        """Number of layered 2-paths ``left - x - right`` through relations
+        ``first`` then ``second`` (e.g. ``A`` then ``B`` counts paths from
+        ``L1`` to ``L3``)."""
+        forward = self.neighbors(first, left, "left")
+        backward = self.neighbors(second, right, "right")
+        if len(forward) > len(backward):
+            forward, backward = backward, forward
+        return sum(1 for middle in forward if middle in backward)
+
+    def count_three_paths(self, left: Vertex, right: Vertex, chain: tuple[str, str, str] = ("A", "B", "C")) -> int:
+        """Number of layered 3-paths from ``left`` to ``right`` through the
+        given relation chain (default ``A`` -> ``B`` -> ``C``), i.e. the entry
+        ``(A · B · C)[left, right]``."""
+        first, second, third = chain
+        total = 0
+        ends = self.neighbors(third, right, "right")
+        for middle1 in self.neighbors(first, left, "left"):
+            seconds = self.neighbors(second, middle1, "left")
+            if len(seconds) > len(ends):
+                total += sum(1 for middle2 in ends if middle2 in seconds)
+            else:
+                total += sum(1 for middle2 in seconds if middle2 in ends)
+        return total
+
+    def count_layered_four_cycles(self) -> int:
+        """The exact number of layered 4-cycles (the cyclic join size).
+
+        Computed by summing, over every tuple ``(v4, v1)`` of ``D``, the number
+        of layered 3-paths from ``v1`` to ``v4`` through ``A``, ``B``, ``C``.
+        """
+        total = 0
+        for v4, v1 in self.relation_edges("D"):
+            total += self.count_three_paths(v1, v4)
+        return total
+
+    # -- matrix export -----------------------------------------------------
+    def relation_matrix(
+        self,
+        relation: str,
+        left_order: list[Vertex] | None = None,
+        right_order: list[Vertex] | None = None,
+        dtype=np.int64,
+    ) -> tuple[np.ndarray, list[Vertex], list[Vertex]]:
+        """Export ``relation`` as a dense 0/1 matrix.
+
+        Returns ``(matrix, left_order, right_order)``; orders default to the
+        sorted set of vertices with non-zero degree on each side, which keeps
+        the matrices as small as the paper's dimension-trimming argument
+        (Claim 3.4) requires.
+        """
+        rel = self._require(relation)
+        if left_order is None:
+            left_order = _sorted_vertices(rel.forward)
+        if right_order is None:
+            right_order = _sorted_vertices(rel.backward)
+        left_index = {vertex: position for position, vertex in enumerate(left_order)}
+        right_index = {vertex: position for position, vertex in enumerate(right_order)}
+        matrix = np.zeros((len(left_order), len(right_order)), dtype=dtype)
+        for left, right in rel.edges():
+            row = left_index.get(left)
+            column = right_index.get(right)
+            if row is not None and column is not None:
+                matrix[row, column] = 1
+        return matrix, left_order, right_order
+
+    def count_layered_four_cycles_matrix(self) -> int:
+        """The layered 4-cycle count computed with dense matrix products.
+
+        Used by tests as an independent cross-check of
+        :meth:`count_layered_four_cycles`.
+        """
+        l1 = sorted(self.layer_vertices(1), key=repr)
+        l2 = sorted(self.layer_vertices(2), key=repr)
+        l3 = sorted(self.layer_vertices(3), key=repr)
+        l4 = sorted(self.layer_vertices(4), key=repr)
+        if not (l1 and l2 and l3 and l4):
+            return 0
+        a, _, _ = self.relation_matrix("A", l1, l2)
+        b, _, _ = self.relation_matrix("B", l2, l3)
+        c, _, _ = self.relation_matrix("C", l3, l4)
+        d, _, _ = self.relation_matrix("D", l4, l1)
+        paths = a @ b @ c
+        return int(np.sum(paths * d.T))
+
+    # -- misc ----------------------------------------------------------------
+    def copy(self) -> "LayeredGraph":
+        clone = LayeredGraph()
+        for name, relation in self._relations.items():
+            target = clone._relations[name]
+            target.forward = {vertex: set(neighbors) for vertex, neighbors in relation.forward.items()}
+            target.backward = {vertex: set(neighbors) for vertex, neighbors in relation.backward.items()}
+            target.num_edges = relation.num_edges
+        return clone
+
+    def _require(self, relation: str) -> _Relation:
+        rel = self._relations.get(relation)
+        if rel is None:
+            raise LayerError(f"unknown relation {relation!r}; expected one of {RELATION_NAMES}")
+        return rel
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{name}={relation.num_edges}" for name, relation in self._relations.items())
+        return f"LayeredGraph({sizes})"
+
+
+def _sorted_vertices(adjacency: Dict[Vertex, Set[Vertex]]) -> list[Vertex]:
+    """Vertices with at least one incident edge, deterministically ordered."""
+    vertices = [vertex for vertex, neighbors in adjacency.items() if neighbors]
+    try:
+        return sorted(vertices)  # type: ignore[type-var]
+    except TypeError:
+        return sorted(vertices, key=repr)
+
+
+#: Shared immutable empty set.
+_EMPTY_SET: frozenset = frozenset()

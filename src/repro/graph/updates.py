@@ -1,0 +1,328 @@
+"""Edge-update primitives for fully dynamic graphs.
+
+The fully dynamic model of the paper (Section 1) feeds the algorithm a stream
+of edge insertions and deletions over a simple graph that starts empty.  This
+module defines the small value types that represent those updates:
+
+* :class:`UpdateKind` — insertion or deletion.
+* :class:`EdgeUpdate` — an undirected edge update on a general graph.
+* :class:`LayeredEdgeUpdate` — an update to one of the relations ``A``, ``B``,
+  ``C``, ``D`` of a 4-layered graph (Section 2.1).
+* :class:`UpdateStream` — an ordered, validated sequence of updates with a few
+  convenience constructors used by the workload generators and the harness.
+
+All value types are immutable so they can be hashed, put in sets, and replayed
+any number of times.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.exceptions import InvalidUpdateError, SelfLoopError
+
+Vertex = Hashable
+
+#: The four relations of a 4-layered graph, in the order used by the paper:
+#: ``A(L1, L2)``, ``B(L2, L3)``, ``C(L3, L4)``, ``D(L4, L1)``.
+RELATION_NAMES = ("A", "B", "C", "D")
+
+
+class UpdateKind(enum.Enum):
+    """Whether an update inserts or deletes an edge/tuple."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+    @property
+    def sign(self) -> int:
+        """``+1`` for insertions and ``-1`` for deletions.
+
+        The paper maintains counts by adding the number of 4-cycles through a
+        newly inserted edge and subtracting the number through a deleted edge;
+        the sign is that multiplier.
+        """
+        return 1 if self is UpdateKind.INSERT else -1
+
+    def inverse(self) -> "UpdateKind":
+        """Return the opposite kind (insert <-> delete)."""
+        return UpdateKind.DELETE if self is UpdateKind.INSERT else UpdateKind.INSERT
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """A single undirected edge update ``(u, v)`` on a general graph.
+
+    The endpoints are stored in a canonical order (sorted by ``repr`` for
+    heterogeneous vertex labels, by value when comparable) so that
+    ``EdgeUpdate(1, 2, INSERT) == EdgeUpdate(2, 1, INSERT)``.
+    """
+
+    u: Vertex
+    v: Vertex
+    kind: UpdateKind = UpdateKind.INSERT
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise SelfLoopError(
+                f"self-loop update on vertex {self.u!r} is not allowed in a simple graph"
+            )
+        first, second = _canonical_order(self.u, self.v)
+        object.__setattr__(self, "u", first)
+        object.__setattr__(self, "v", second)
+
+    @property
+    def endpoints(self) -> tuple[Vertex, Vertex]:
+        """The canonically ordered endpoint pair."""
+        return (self.u, self.v)
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind is UpdateKind.INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.kind is UpdateKind.DELETE
+
+    @property
+    def sign(self) -> int:
+        """``+1`` for an insertion, ``-1`` for a deletion."""
+        return self.kind.sign
+
+    def inverse(self) -> "EdgeUpdate":
+        """Return the update that undoes this one."""
+        return EdgeUpdate(self.u, self.v, self.kind.inverse())
+
+    def touches(self, vertex: Vertex) -> bool:
+        """Whether ``vertex`` is one of the endpoints."""
+        return vertex == self.u or vertex == self.v
+
+    def other_endpoint(self, vertex: Vertex) -> Vertex:
+        """Given one endpoint, return the other one."""
+        if vertex == self.u:
+            return self.v
+        if vertex == self.v:
+            return self.u
+        raise InvalidUpdateError(f"{vertex!r} is not an endpoint of {self!r}")
+
+    @classmethod
+    def insert(cls, u: Vertex, v: Vertex) -> "EdgeUpdate":
+        """Convenience constructor for an insertion."""
+        return cls(u, v, UpdateKind.INSERT)
+
+    @classmethod
+    def delete(cls, u: Vertex, v: Vertex) -> "EdgeUpdate":
+        """Convenience constructor for a deletion."""
+        return cls(u, v, UpdateKind.DELETE)
+
+
+@dataclass(frozen=True)
+class LayeredEdgeUpdate:
+    """An update to a single relation of a 4-layered graph.
+
+    ``relation`` is one of ``"A"``, ``"B"``, ``"C"``, ``"D"``; ``left`` lives
+    in the relation's left layer and ``right`` in its right layer (``A`` goes
+    from ``L1`` to ``L2`` and so on, wrapping around with ``D`` from ``L4`` to
+    ``L1``).  Unlike :class:`EdgeUpdate`, the pair is *ordered*: the layered
+    graph distinguishes which endpoint lies in which layer.
+    """
+
+    relation: str
+    left: Vertex
+    right: Vertex
+    kind: UpdateKind = UpdateKind.INSERT
+
+    def __post_init__(self) -> None:
+        if self.relation not in RELATION_NAMES:
+            raise InvalidUpdateError(
+                f"unknown relation {self.relation!r}; expected one of {RELATION_NAMES}"
+            )
+
+    @property
+    def sign(self) -> int:
+        return self.kind.sign
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind is UpdateKind.INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.kind is UpdateKind.DELETE
+
+    def inverse(self) -> "LayeredEdgeUpdate":
+        """Return the update that undoes this one."""
+        return LayeredEdgeUpdate(self.relation, self.left, self.right, self.kind.inverse())
+
+    @classmethod
+    def insert(cls, relation: str, left: Vertex, right: Vertex) -> "LayeredEdgeUpdate":
+        return cls(relation, left, right, UpdateKind.INSERT)
+
+    @classmethod
+    def delete(cls, relation: str, left: Vertex, right: Vertex) -> "LayeredEdgeUpdate":
+        return cls(relation, left, right, UpdateKind.DELETE)
+
+
+class UpdateStream(Sequence[EdgeUpdate]):
+    """An ordered sequence of :class:`EdgeUpdate` objects.
+
+    The stream is the unit the workload generators produce and the experiment
+    harness replays.  Besides sequence behaviour it offers:
+
+    * :meth:`validate` — check the stream is *consistent*: no duplicate
+      insertions and no deletions of absent edges when replayed from an empty
+      graph (or from ``initial_edges``).
+    * :meth:`final_edges` — the edge set after replaying the whole stream.
+    * :meth:`insertions_only` / :meth:`prefix` — simple slicing helpers.
+    """
+
+    def __init__(self, updates: Iterable[EdgeUpdate] = ()) -> None:
+        self._updates: list[EdgeUpdate] = list(updates)
+        for update in self._updates:
+            if not isinstance(update, EdgeUpdate):
+                raise InvalidUpdateError(
+                    f"UpdateStream elements must be EdgeUpdate, got {type(update).__name__}"
+                )
+
+    # -- Sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[EdgeUpdate]:
+        return iter(self._updates)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return UpdateStream(self._updates[index])
+        return self._updates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, UpdateStream):
+            return self._updates == other._updates
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inserts = sum(1 for update in self._updates if update.is_insert)
+        deletes = len(self._updates) - inserts
+        return f"UpdateStream(total={len(self._updates)}, inserts={inserts}, deletes={deletes})"
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[Vertex, Vertex]]) -> "UpdateStream":
+        """Build an insertion-only stream from an iterable of edges."""
+        return cls(EdgeUpdate.insert(u, v) for u, v in edges)
+
+    @classmethod
+    def build_then_teardown(cls, edges: Iterable[tuple[Vertex, Vertex]]) -> "UpdateStream":
+        """Insert every edge, then delete them all in reverse order.
+
+        A handy stress pattern: the final graph is empty, so any counter must
+        report zero 4-cycles at the end.
+        """
+        edge_list = list(edges)
+        inserts = [EdgeUpdate.insert(u, v) for u, v in edge_list]
+        deletes = [EdgeUpdate.delete(u, v) for u, v in reversed(edge_list)]
+        return cls(inserts + deletes)
+
+    # -- derived views -----------------------------------------------------
+    def append(self, update: EdgeUpdate) -> None:
+        """Append a single update to the stream."""
+        if not isinstance(update, EdgeUpdate):
+            raise InvalidUpdateError(
+                f"UpdateStream elements must be EdgeUpdate, got {type(update).__name__}"
+            )
+        self._updates.append(update)
+
+    def extend(self, updates: Iterable[EdgeUpdate]) -> None:
+        """Append several updates to the stream."""
+        for update in updates:
+            self.append(update)
+
+    def prefix(self, length: int) -> "UpdateStream":
+        """The first ``length`` updates as a new stream."""
+        return UpdateStream(self._updates[:length])
+
+    def insertions_only(self) -> "UpdateStream":
+        """A stream containing only the insertion updates, in order."""
+        return UpdateStream(update for update in self._updates if update.is_insert)
+
+    def deletions_only(self) -> "UpdateStream":
+        """A stream containing only the deletion updates, in order."""
+        return UpdateStream(update for update in self._updates if update.is_delete)
+
+    def num_insertions(self) -> int:
+        return sum(1 for update in self._updates if update.is_insert)
+
+    def num_deletions(self) -> int:
+        return sum(1 for update in self._updates if update.is_delete)
+
+    def vertices(self) -> set[Vertex]:
+        """All vertices touched by any update in the stream."""
+        seen: set[Vertex] = set()
+        for update in self._updates:
+            seen.add(update.u)
+            seen.add(update.v)
+        return seen
+
+    def max_live_edges(self, initial_edges: Iterable[tuple[Vertex, Vertex]] = ()) -> int:
+        """The maximum number of live edges at any point while replaying."""
+        live = {_canonical_order(u, v) for u, v in initial_edges}
+        peak = len(live)
+        for update in self._updates:
+            if update.is_insert:
+                live.add(update.endpoints)
+            else:
+                live.discard(update.endpoints)
+            peak = max(peak, len(live))
+        return peak
+
+    def final_edges(
+        self, initial_edges: Iterable[tuple[Vertex, Vertex]] = ()
+    ) -> set[tuple[Vertex, Vertex]]:
+        """The live edge set after replaying the whole stream.
+
+        Raises :class:`InvalidUpdateError` if the stream is inconsistent.
+        """
+        live = {_canonical_order(u, v) for u, v in initial_edges}
+        for position, update in enumerate(self._updates):
+            key = update.endpoints
+            if update.is_insert:
+                if key in live:
+                    raise InvalidUpdateError(
+                        f"update #{position} inserts edge {key} which is already present"
+                    )
+                live.add(key)
+            else:
+                if key not in live:
+                    raise InvalidUpdateError(
+                        f"update #{position} deletes edge {key} which is not present"
+                    )
+                live.remove(key)
+        return live
+
+    def validate(self, initial_edges: Iterable[tuple[Vertex, Vertex]] = ()) -> bool:
+        """Return ``True`` if the stream replays consistently from
+        ``initial_edges`` (every insertion is new, every deletion exists)."""
+        try:
+            self.final_edges(initial_edges)
+        except InvalidUpdateError:
+            return False
+        return True
+
+
+def _canonical_order(u: Vertex, v: Vertex) -> tuple[Vertex, Vertex]:
+    """Order an endpoint pair deterministically.
+
+    Comparable values (the common case: integer or string vertex ids) are
+    ordered by value; mixed or non-comparable labels fall back to ``repr``.
+    """
+    try:
+        if u <= v:  # type: ignore[operator]
+            return (u, v)
+        return (v, u)
+    except TypeError:
+        if repr(u) <= repr(v):
+            return (u, v)
+        return (v, u)

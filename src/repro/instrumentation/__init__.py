@@ -1,0 +1,36 @@
+"""Instrumentation: operation-count cost model, per-update metrics, and the
+experiment harness."""
+
+from repro.instrumentation.cost_model import STANDARD_CATEGORIES, CostModel, CostSnapshot
+from repro.instrumentation.harness import (
+    RunResult,
+    compare_counters,
+    format_table,
+    run_counter,
+    run_validated,
+    summary_table,
+)
+from repro.instrumentation.metrics import (
+    MetricsSummary,
+    UpdateMetrics,
+    UpdateRecord,
+    fit_power_law,
+    percentile,
+)
+
+__all__ = [
+    "CostModel",
+    "CostSnapshot",
+    "STANDARD_CATEGORIES",
+    "UpdateMetrics",
+    "UpdateRecord",
+    "MetricsSummary",
+    "percentile",
+    "fit_power_law",
+    "RunResult",
+    "run_counter",
+    "run_validated",
+    "compare_counters",
+    "summary_table",
+    "format_table",
+]

@@ -1,0 +1,203 @@
+"""Experiment harness: run counters over update streams and compare them.
+
+The harness is what the benchmarks and examples share: it replays an
+:class:`~repro.graph.updates.UpdateStream` through one or several counters,
+records per-update metrics, optionally validates every intermediate count
+against a reference counter, and produces comparable summaries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.exceptions import CounterStateError
+from repro.graph.updates import UpdateStream
+from repro.instrumentation.metrics import MetricsSummary, UpdateMetrics, UpdateRecord
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a circular import
+    from repro.core.base import DynamicFourCycleCounter
+
+
+@dataclass
+class RunResult:
+    """The outcome of replaying one stream through one counter."""
+
+    counter_name: str
+    stream_length: int
+    final_count: int
+    final_edge_count: int
+    counts: List[int] = field(default_factory=list)
+    metrics: Optional[UpdateMetrics] = None
+    validated: bool = False
+
+    def summary(self) -> Optional[MetricsSummary]:
+        return self.metrics.summary() if self.metrics is not None else None
+
+
+def run_counter(
+    counter: "DynamicFourCycleCounter",
+    stream: UpdateStream,
+    record_counts: bool = True,
+) -> RunResult:
+    """Replay ``stream`` through ``counter`` and collect metrics.
+
+    Per-update metrics are recorded here (rather than relying on the counter's
+    own optional metrics) so any counter instance can be measured.
+    """
+    metrics = UpdateMetrics()
+    counts: List[int] = []
+    for index, update in enumerate(stream):
+        before_ops = counter.cost.snapshot()
+        started = time.perf_counter()
+        count = counter.apply(update)
+        elapsed = time.perf_counter() - started
+        spent = counter.cost.snapshot().diff(before_ops)
+        metrics.record(
+            UpdateRecord(
+                index=index,
+                operations=spent.total,
+                seconds=elapsed,
+                edge_count=counter.num_edges,
+                is_insert=update.is_insert,
+                categories=dict(spent.categories),
+            )
+        )
+        if record_counts:
+            counts.append(count)
+    return RunResult(
+        counter_name=counter.name,
+        stream_length=len(stream),
+        final_count=counter.count,
+        final_edge_count=counter.num_edges,
+        counts=counts,
+        metrics=metrics,
+    )
+
+
+def run_validated(
+    counter: "DynamicFourCycleCounter",
+    stream: UpdateStream,
+    reference: Optional["DynamicFourCycleCounter"] = None,
+    check_every: int = 1,
+) -> RunResult:
+    """Replay ``stream`` while cross-checking against a reference counter.
+
+    ``check_every`` controls how often the counts are compared (1 = after every
+    update).  Raises :class:`CounterStateError` on the first mismatch, naming
+    the update index — this is the workhorse of the correctness experiment E4
+    and of the integration tests.
+    """
+    if reference is None:
+        from repro.core.registry import create_counter
+
+        reference = create_counter("brute-force")
+    if check_every <= 0:
+        raise ValueError(f"check_every must be positive, got {check_every}")
+    metrics = UpdateMetrics()
+    counts: List[int] = []
+    for index, update in enumerate(stream):
+        before_ops = counter.cost.snapshot()
+        started = time.perf_counter()
+        count = counter.apply(update)
+        elapsed = time.perf_counter() - started
+        spent = counter.cost.snapshot().diff(before_ops)
+        expected = reference.apply(update)
+        if index % check_every == 0 and count != expected:
+            raise CounterStateError(
+                f"counter {counter.name!r} diverged at update #{index} "
+                f"({update!r}): got {count}, expected {expected}"
+            )
+        metrics.record(
+            UpdateRecord(
+                index=index,
+                operations=spent.total,
+                seconds=elapsed,
+                edge_count=counter.num_edges,
+                is_insert=update.is_insert,
+                categories=dict(spent.categories),
+            )
+        )
+        counts.append(count)
+    if counter.count != reference.count:
+        raise CounterStateError(
+            f"counter {counter.name!r} ended with count {counter.count}, "
+            f"reference ended with {reference.count}"
+        )
+    return RunResult(
+        counter_name=counter.name,
+        stream_length=len(stream),
+        final_count=counter.count,
+        final_edge_count=counter.num_edges,
+        counts=counts,
+        metrics=metrics,
+        validated=True,
+    )
+
+
+def compare_counters(
+    counter_names: Sequence[str],
+    stream: UpdateStream,
+    counter_kwargs: Optional[Dict[str, dict]] = None,
+) -> Dict[str, RunResult]:
+    """Replay the same stream through several registry counters.
+
+    Returns a mapping from counter name to its :class:`RunResult`; all final
+    counts are additionally cross-checked against each other.
+    """
+    from repro.core.registry import create_counter
+
+    counter_kwargs = counter_kwargs or {}
+    results: Dict[str, RunResult] = {}
+    final_counts = set()
+    for name in counter_names:
+        counter = create_counter(name, **counter_kwargs.get(name, {}))
+        result = run_counter(counter, stream)
+        results[name] = result
+        final_counts.add(result.final_count)
+    if len(final_counts) > 1:
+        details = ", ".join(f"{name}={result.final_count}" for name, result in results.items())
+        raise CounterStateError(f"counters disagree on the final 4-cycle count: {details}")
+    return results
+
+
+def summary_table(results: Dict[str, RunResult]) -> List[Dict[str, object]]:
+    """Flatten comparison results into printable rows (one per counter)."""
+    rows: List[Dict[str, object]] = []
+    for name in sorted(results):
+        result = results[name]
+        summary = result.summary()
+        row: Dict[str, object] = {
+            "counter": name,
+            "final_count": result.final_count,
+            "final_edges": result.final_edge_count,
+        }
+        if summary is not None:
+            row.update(
+                {
+                    "mean_ops": round(summary.mean_operations, 1),
+                    "p99_ops": round(summary.p99_operations, 1),
+                    "max_ops": summary.max_operations,
+                    "total_seconds": round(summary.total_seconds, 4),
+                }
+            )
+        rows.append(row)
+    return rows
+
+
+def format_table(rows: List[Dict[str, object]]) -> str:
+    """Render rows as a fixed-width text table (used by examples and the CLI)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), max(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Per-update metrics: operation counts and wall-clock time.
+
+The paper's bound is *worst-case per update*, so the interesting statistics are
+the maximum and the high percentiles, not just the mean.  :class:`UpdateMetrics`
+stores one record per update and exposes the summary statistics the benchmark
+harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """Cost of processing a single update."""
+
+    index: int
+    operations: int
+    seconds: float
+    edge_count: int
+    is_insert: bool
+    categories: Dict[str, int] = field(default_factory=dict)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` percentile (0..1) of ``values`` by linear interpolation.
+
+    Returns ``0.0`` for an empty sequence (so summaries of empty runs do not
+    blow up); raises for fractions outside ``[0, 1]``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
+@dataclass
+class MetricsSummary:
+    """Summary statistics over a run (operations unless noted otherwise)."""
+
+    updates: int
+    total_operations: int
+    mean_operations: float
+    median_operations: float
+    p95_operations: float
+    p99_operations: float
+    max_operations: int
+    total_seconds: float
+    mean_seconds: float
+    max_seconds: float
+    final_edge_count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "updates": self.updates,
+            "total_operations": self.total_operations,
+            "mean_operations": self.mean_operations,
+            "median_operations": self.median_operations,
+            "p95_operations": self.p95_operations,
+            "p99_operations": self.p99_operations,
+            "max_operations": self.max_operations,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "max_seconds": self.max_seconds,
+            "final_edge_count": self.final_edge_count,
+        }
+
+
+class UpdateMetrics:
+    """Collects one :class:`UpdateRecord` per processed update."""
+
+    def __init__(self) -> None:
+        self._records: List[UpdateRecord] = []
+
+    def record(self, record: UpdateRecord) -> None:
+        self._records.append(record)
+
+    @property
+    def records(self) -> List[UpdateRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def operations(self) -> List[int]:
+        return [record.operations for record in self._records]
+
+    def seconds(self) -> List[float]:
+        return [record.seconds for record in self._records]
+
+    def worst_case_operations(self) -> int:
+        """The maximum per-update operation count (the paper's figure of merit)."""
+        if not self._records:
+            return 0
+        return max(record.operations for record in self._records)
+
+    def amortized_operations(self) -> float:
+        """Mean per-update operation count."""
+        if not self._records:
+            return 0.0
+        return sum(record.operations for record in self._records) / len(self._records)
+
+    def summary(self) -> MetricsSummary:
+        operations = self.operations()
+        seconds = self.seconds()
+        final_edges = self._records[-1].edge_count if self._records else 0
+        return MetricsSummary(
+            updates=len(self._records),
+            total_operations=sum(operations),
+            mean_operations=(sum(operations) / len(operations)) if operations else 0.0,
+            median_operations=percentile(operations, 0.5),
+            p95_operations=percentile(operations, 0.95),
+            p99_operations=percentile(operations, 0.99),
+            max_operations=max(operations) if operations else 0,
+            total_seconds=sum(seconds),
+            mean_seconds=(sum(seconds) / len(seconds)) if seconds else 0.0,
+            max_seconds=max(seconds) if seconds else 0.0,
+            final_edge_count=final_edges,
+        )
+
+    def bucketed_by_edge_count(self, bucket_width: int) -> Dict[int, float]:
+        """Mean operations grouped by ``edge_count // bucket_width`` buckets.
+
+        Used by the scaling experiment (E5) to plot cost against ``m``.
+        """
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        sums: Dict[int, int] = {}
+        counts: Dict[int, int] = {}
+        for record in self._records:
+            bucket = record.edge_count // bucket_width
+            sums[bucket] = sums.get(bucket, 0) + record.operations
+            counts[bucket] = counts.get(bucket, 0) + 1
+        return {bucket: sums[bucket] / counts[bucket] for bucket in sums}
+
+
+def fit_power_law(edge_counts: Sequence[int], costs: Sequence[float]) -> Optional[float]:
+    """Least-squares slope of ``log(cost)`` against ``log(m)``.
+
+    Returns the fitted exponent, or ``None`` when there are fewer than two
+    usable points.  Used by the scaling benchmark to estimate the empirical
+    update-cost exponent and compare it with the theoretical one.
+    """
+    points = [
+        (math.log(m), math.log(cost))
+        for m, cost in zip(edge_counts, costs)
+        if m > 0 and cost > 0
+    ]
+    if len(points) < 2:
+        return None
+    mean_x = sum(x for x, _ in points) / len(points)
+    mean_y = sum(y for _, y in points) / len(points)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    denominator = sum((x - mean_x) ** 2 for x, _ in points)
+    if denominator == 0:
+        return None
+    return numerator / denominator

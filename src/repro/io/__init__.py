@@ -1,0 +1,31 @@
+"""Persistence helpers for streams, layered updates, metrics, and summaries."""
+
+from repro.io.serialization import (
+    edge_update_from_dict,
+    edge_update_to_dict,
+    layered_update_from_dict,
+    layered_update_to_dict,
+    load_layered_updates,
+    load_metrics_csv,
+    load_stream,
+    load_summary_json,
+    save_layered_updates,
+    save_metrics_csv,
+    save_stream,
+    save_summary_json,
+)
+
+__all__ = [
+    "edge_update_to_dict",
+    "edge_update_from_dict",
+    "layered_update_to_dict",
+    "layered_update_from_dict",
+    "save_stream",
+    "load_stream",
+    "save_layered_updates",
+    "load_layered_updates",
+    "save_metrics_csv",
+    "load_metrics_csv",
+    "save_summary_json",
+    "load_summary_json",
+]

@@ -1,0 +1,162 @@
+"""Persistence of update streams, workloads, and experiment results.
+
+Reproducibility plumbing: benchmark runs and examples can save the exact
+update stream they used (JSON lines) and the per-update metrics they measured
+(CSV/JSON), so a result can be re-checked later or on another machine without
+re-generating the workload.
+
+Only plain-text formats are used; vertex labels must be JSON-serializable
+(ints and strings cover every built-in workload).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.exceptions import ConfigurationError
+from repro.graph.updates import EdgeUpdate, LayeredEdgeUpdate, UpdateKind, UpdateStream
+from repro.instrumentation.metrics import UpdateMetrics, UpdateRecord
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Update streams
+# ---------------------------------------------------------------------------
+def edge_update_to_dict(update: EdgeUpdate) -> dict:
+    """A JSON-friendly representation of a general-graph update."""
+    return {"u": update.u, "v": update.v, "kind": update.kind.value}
+
+
+def edge_update_from_dict(payload: dict) -> EdgeUpdate:
+    """Inverse of :func:`edge_update_to_dict`."""
+    try:
+        kind = UpdateKind(payload["kind"])
+        return EdgeUpdate(payload["u"], payload["v"], kind)
+    except (KeyError, ValueError) as error:
+        raise ConfigurationError(f"malformed edge-update payload: {payload!r}") from error
+
+
+def layered_update_to_dict(update: LayeredEdgeUpdate) -> dict:
+    """A JSON-friendly representation of a layered update."""
+    return {
+        "relation": update.relation,
+        "left": update.left,
+        "right": update.right,
+        "kind": update.kind.value,
+    }
+
+
+def layered_update_from_dict(payload: dict) -> LayeredEdgeUpdate:
+    """Inverse of :func:`layered_update_to_dict`."""
+    try:
+        kind = UpdateKind(payload["kind"])
+        return LayeredEdgeUpdate(payload["relation"], payload["left"], payload["right"], kind)
+    except (KeyError, ValueError) as error:
+        raise ConfigurationError(f"malformed layered-update payload: {payload!r}") from error
+
+
+def save_stream(stream: UpdateStream, path: PathLike) -> None:
+    """Write a general update stream as JSON lines (one update per line)."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for update in stream:
+            handle.write(json.dumps(edge_update_to_dict(update)) + "\n")
+
+
+def load_stream(path: PathLike) -> UpdateStream:
+    """Read an update stream written by :func:`save_stream`."""
+    source = Path(path)
+    updates: List[EdgeUpdate] = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"{source}:{line_number}: not valid JSON: {line[:80]!r}"
+                ) from error
+            updates.append(edge_update_from_dict(payload))
+    return UpdateStream(updates)
+
+
+def save_layered_updates(updates: Iterable[LayeredEdgeUpdate], path: PathLike) -> None:
+    """Write layered updates as JSON lines."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for update in updates:
+            handle.write(json.dumps(layered_update_to_dict(update)) + "\n")
+
+
+def load_layered_updates(path: PathLike) -> List[LayeredEdgeUpdate]:
+    """Read layered updates written by :func:`save_layered_updates`."""
+    source = Path(path)
+    updates: List[LayeredEdgeUpdate] = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                updates.append(layered_update_from_dict(json.loads(line)))
+    return updates
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+_METRICS_COLUMNS = ("index", "operations", "seconds", "edge_count", "is_insert")
+
+
+def save_metrics_csv(metrics: UpdateMetrics, path: PathLike) -> None:
+    """Write per-update metrics as CSV (one row per update)."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_METRICS_COLUMNS)
+        for record in metrics.records:
+            writer.writerow(
+                [record.index, record.operations, record.seconds, record.edge_count, int(record.is_insert)]
+            )
+
+
+def load_metrics_csv(path: PathLike) -> UpdateMetrics:
+    """Read metrics written by :func:`save_metrics_csv`."""
+    source = Path(path)
+    metrics = UpdateMetrics()
+    with source.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or set(_METRICS_COLUMNS) - set(reader.fieldnames):
+            raise ConfigurationError(
+                f"{source}: expected columns {_METRICS_COLUMNS}, got {reader.fieldnames}"
+            )
+        for row in reader:
+            metrics.record(
+                UpdateRecord(
+                    index=int(row["index"]),
+                    operations=int(row["operations"]),
+                    seconds=float(row["seconds"]),
+                    edge_count=int(row["edge_count"]),
+                    is_insert=bool(int(row["is_insert"])),
+                )
+            )
+    return metrics
+
+
+def save_summary_json(summary_rows: Iterable[dict], path: PathLike) -> None:
+    """Write a list of summary dictionaries (e.g. from the harness) as JSON."""
+    target = Path(path)
+    target.write_text(json.dumps(list(summary_rows), indent=2, sort_keys=True), encoding="utf-8")
+
+
+def load_summary_json(path: PathLike) -> List[dict]:
+    """Read summaries written by :func:`save_summary_json`."""
+    source = Path(path)
+    payload = json.loads(source.read_text(encoding="utf-8"))
+    if not isinstance(payload, list):
+        raise ConfigurationError(f"{source}: expected a JSON list, got {type(payload).__name__}")
+    return payload

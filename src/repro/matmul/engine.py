@@ -1,0 +1,357 @@
+"""Matrix representations and multiplication backends.
+
+The algorithms of the paper manipulate two kinds of matrices:
+
+* the 0/1 relation matrices ``A``, ``B``, ``C`` (and their class-restricted
+  submatrices such as ``A^{H*}`` or ``B_{i,DD}``), and
+* integer *count* matrices such as ``A^{*S} · B^{S*}`` (wedge counts) or
+  ``A^{HS} · B^{SS} · C^{SH}`` (3-path counts).
+
+Both are naturally sparse and indexed by vertex labels rather than integer
+positions, so the workhorse representation here is :class:`CountMatrix` — a
+dictionary-of-dictionaries sparse integer matrix keyed by arbitrary hashable
+labels.  It supports the operations the counters need: point updates, row and
+column access, addition (used for the "negative edge" trick of Section 3.3),
+and multiplication.
+
+Multiplication can run on two backends:
+
+* :class:`SparseBackend` — dictionary-based sparse-sparse product, cheap when
+  the operands are sparse (new-phase / per-chunk matrices).
+* :class:`DenseBackend` — converts to dense ``numpy`` arrays and uses BLAS.
+  This plays the role of *fast matrix multiplication* for the old-phase
+  products; the asymptotic exponent is modelled separately in
+  :mod:`repro.matmul.omega`.
+
+:class:`MatmulEngine` picks a backend (or honours an explicit choice) and
+reports the work it performed to an optional cost callback, which the
+instrumentation layer uses to account matrix work against the phase budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, Iterator, Mapping, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+Label = Hashable
+
+
+class CountMatrix:
+    """A sparse integer matrix keyed by arbitrary row/column labels.
+
+    Entries with value zero are removed eagerly so iteration only touches
+    non-zeros; this matters because the counters add and subtract contributions
+    (insertions and deletions) and most entries cancel over time.
+    """
+
+    __slots__ = ("_rows", "_nnz")
+
+    def __init__(self, entries: Mapping[tuple[Label, Label], int] | None = None) -> None:
+        self._rows: Dict[Label, Dict[Label, int]] = {}
+        self._nnz = 0
+        if entries:
+            for (row, column), value in entries.items():
+                self.add(row, column, value)
+
+    # -- point access --------------------------------------------------------
+    def get(self, row: Label, column: Label) -> int:
+        """The entry at ``(row, column)``; zero when absent."""
+        return self._rows.get(row, _EMPTY_DICT).get(column, 0)
+
+    def add(self, row: Label, column: Label, delta: int) -> None:
+        """Add ``delta`` to the entry at ``(row, column)``.
+
+        Entries that become zero are deleted, keeping the matrix sparse.
+        """
+        if delta == 0:
+            return
+        row_map = self._rows.get(row)
+        if row_map is None:
+            row_map = {}
+            self._rows[row] = row_map
+        current = row_map.get(column, 0)
+        updated = current + delta
+        if current == 0:
+            self._nnz += 1
+        if updated == 0:
+            del row_map[column]
+            self._nnz -= 1
+            if not row_map:
+                del self._rows[row]
+        else:
+            row_map[column] = updated
+
+    def set(self, row: Label, column: Label, value: int) -> None:
+        """Set the entry at ``(row, column)`` to ``value``."""
+        self.add(row, column, value - self.get(row, column))
+
+    # -- bulk access ----------------------------------------------------------
+    def row(self, row: Label) -> Mapping[Label, int]:
+        """The non-zero entries of one row (live view; do not mutate)."""
+        return self._rows.get(row, _EMPTY_DICT)
+
+    def rows(self) -> Iterator[tuple[Label, Mapping[Label, int]]]:
+        """Iterate over ``(row_label, row_mapping)`` pairs."""
+        return iter(self._rows.items())
+
+    def items(self) -> Iterator[tuple[Label, Label, int]]:
+        """Iterate over all non-zero entries as ``(row, column, value)``."""
+        for row, row_map in self._rows.items():
+            for column, value in row_map.items():
+                yield (row, column, value)
+
+    def row_labels(self) -> set[Label]:
+        return set(self._rows)
+
+    def column_labels(self) -> set[Label]:
+        labels: set[Label] = set()
+        for row_map in self._rows.values():
+            labels.update(row_map)
+        return labels
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero entries."""
+        return self._nnz
+
+    def __bool__(self) -> bool:
+        return self._nnz > 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CountMatrix):
+            return self._rows == other._rows
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"CountMatrix(nnz={self._nnz})"
+
+    # -- linear-algebra style operations --------------------------------------
+    def copy(self) -> "CountMatrix":
+        clone = CountMatrix()
+        clone._rows = {row: dict(row_map) for row, row_map in self._rows.items()}
+        clone._nnz = self._nnz
+        return clone
+
+    def add_matrix(self, other: "CountMatrix", scale: int = 1) -> None:
+        """In-place ``self += scale * other``.
+
+        This is the aggregation step of the warm-up algorithm: once the data
+        structure of chunk ``B_{i-1}`` is computed it is added to the running
+        sum for ``B_{<i-1}`` (Section 3.2), with deletions represented as
+        negative entries.
+        """
+        for row, column, value in other.items():
+            self.add(row, column, scale * value)
+
+    def transpose(self) -> "CountMatrix":
+        result = CountMatrix()
+        for row, column, value in self.items():
+            result.add(column, row, value)
+        return result
+
+    def to_dense(
+        self, row_order: list[Label], column_order: list[Label], dtype=np.int64
+    ) -> np.ndarray:
+        """Densify using explicit row/column orders."""
+        row_index = {label: position for position, label in enumerate(row_order)}
+        column_index = {label: position for position, label in enumerate(column_order)}
+        dense = np.zeros((len(row_order), len(column_order)), dtype=dtype)
+        for row, column, value in self.items():
+            i = row_index.get(row)
+            j = column_index.get(column)
+            if i is not None and j is not None:
+                dense[i, j] = value
+        return dense
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, row_order: list[Label], column_order: list[Label]
+    ) -> "CountMatrix":
+        """Build a sparse matrix from a dense array and its label orders."""
+        result = cls()
+        nonzero_rows, nonzero_columns = np.nonzero(dense)
+        for i, j in zip(nonzero_rows.tolist(), nonzero_columns.tolist()):
+            result.add(row_order[i], column_order[j], int(dense[i, j]))
+        return result
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[Label, Label]], value: int = 1) -> "CountMatrix":
+        """Build a 0/1 (or constant-valued) matrix from an iterable of pairs."""
+        result = cls()
+        for row, column in pairs:
+            result.add(row, column, value)
+        return result
+
+
+@dataclass
+class MultiplyStats:
+    """Work accounting for one matrix product."""
+
+    backend: str
+    left_shape: tuple[int, int]
+    right_shape: tuple[int, int]
+    multiplications: int
+    output_nnz: int
+
+
+class SparseBackend:
+    """Dictionary-based sparse-sparse multiplication.
+
+    Cost is proportional to ``sum over non-zeros (i, k) of left of
+    nnz(row k of right)``, which is exactly the combinatorial cost the paper's
+    "iterate over neighbors" arguments charge.
+    """
+
+    name = "sparse"
+
+    def multiply(self, left: CountMatrix, right: CountMatrix) -> tuple[CountMatrix, MultiplyStats]:
+        result = CountMatrix()
+        multiplications = 0
+        for row, row_map in left.rows():
+            for middle, left_value in row_map.items():
+                right_row = right.row(middle)
+                multiplications += len(right_row)
+                for column, right_value in right_row.items():
+                    result.add(row, column, left_value * right_value)
+        stats = MultiplyStats(
+            backend=self.name,
+            left_shape=(len(left.row_labels()), len(left.column_labels())),
+            right_shape=(len(right.row_labels()), len(right.column_labels())),
+            multiplications=multiplications,
+            output_nnz=result.nnz,
+        )
+        return result, stats
+
+
+class DenseBackend:
+    """Dense ``numpy``/BLAS multiplication over the trimmed label sets.
+
+    The label universe is trimmed to rows/columns that actually appear, the
+    analogue of the paper's observation (Claim 3.4) that zero rows and columns
+    "effectively reduce the dimension for computational purposes".
+    """
+
+    name = "dense"
+
+    def multiply(self, left: CountMatrix, right: CountMatrix) -> tuple[CountMatrix, MultiplyStats]:
+        row_order = sorted(left.row_labels(), key=repr)
+        middle_order = sorted(left.column_labels() | right.row_labels(), key=repr)
+        column_order = sorted(right.column_labels(), key=repr)
+        if not row_order or not middle_order or not column_order:
+            stats = MultiplyStats(
+                backend=self.name,
+                left_shape=(len(row_order), len(middle_order)),
+                right_shape=(len(middle_order), len(column_order)),
+                multiplications=0,
+                output_nnz=0,
+            )
+            return CountMatrix(), stats
+        left_dense = left.to_dense(row_order, middle_order)
+        right_dense = right.to_dense(middle_order, column_order)
+        product = left_dense @ right_dense
+        result = CountMatrix.from_dense(product, row_order, column_order)
+        stats = MultiplyStats(
+            backend=self.name,
+            left_shape=left_dense.shape,
+            right_shape=right_dense.shape,
+            multiplications=len(row_order) * len(middle_order) * len(column_order),
+            output_nnz=result.nnz,
+        )
+        return result, stats
+
+
+CostCallback = Callable[[MultiplyStats], None]
+
+
+@dataclass
+class MatmulEngine:
+    """Facade that selects a backend and reports work to a cost callback.
+
+    ``dense_threshold`` controls the automatic choice: when the estimated
+    sparse cost exceeds the dense cost times this factor the dense (FMM-proxy)
+    backend is used.  The counters pass ``backend="dense"`` explicitly for the
+    old-phase products — the whole point of the paper is that those products
+    go through fast matrix multiplication.
+    """
+
+    dense_threshold: float = 1.0
+    cost_callback: Optional[CostCallback] = None
+    _sparse: SparseBackend = field(default_factory=SparseBackend)
+    _dense: DenseBackend = field(default_factory=DenseBackend)
+
+    def multiply(
+        self, left: CountMatrix, right: CountMatrix, backend: str = "auto"
+    ) -> CountMatrix:
+        """Multiply two count matrices and return the product."""
+        chosen = self._choose_backend(left, right, backend)
+        result, stats = chosen.multiply(left, right)
+        if self.cost_callback is not None:
+            self.cost_callback(stats)
+        return result
+
+    def multiply_chain(self, matrices: list[CountMatrix], backend: str = "auto") -> CountMatrix:
+        """Multiply a chain of matrices left to right (e.g. ``A · B · C``)."""
+        if not matrices:
+            raise ConfigurationError("multiply_chain requires at least one matrix")
+        result = matrices[0]
+        for matrix in matrices[1:]:
+            result = self.multiply(result, matrix, backend=backend)
+        return result
+
+    def _choose_backend(self, left: CountMatrix, right: CountMatrix, backend: str):
+        if backend == "sparse":
+            return self._sparse
+        if backend == "dense":
+            return self._dense
+        if backend != "auto":
+            raise ConfigurationError(
+                f"backend must be 'auto', 'sparse' or 'dense', got {backend!r}"
+            )
+        sparse_cost = self._estimate_sparse_cost(left, right)
+        dense_cost = self._estimate_dense_cost(left, right)
+        if dense_cost == 0:
+            return self._sparse
+        if sparse_cost > self.dense_threshold * dense_cost:
+            return self._dense
+        return self._sparse
+
+    @staticmethod
+    def _estimate_sparse_cost(left: CountMatrix, right: CountMatrix) -> int:
+        right_row_sizes = {row: len(row_map) for row, row_map in right.rows()}
+        cost = 0
+        for _, row_map in left.rows():
+            for middle in row_map:
+                cost += right_row_sizes.get(middle, 0)
+        return cost
+
+    @staticmethod
+    def _estimate_dense_cost(left: CountMatrix, right: CountMatrix) -> int:
+        rows = len(left.row_labels())
+        middles = len(left.column_labels() | right.row_labels())
+        columns = len(right.column_labels())
+        return rows * middles * columns
+
+
+def multiply_dense_arrays(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Multiply two dense arrays with shape validation.
+
+    A small helper for code paths that already hold dense arrays (the
+    brute-force counter, the phase scheduler's row blocks).
+    """
+    if left.ndim != 2 or right.ndim != 2:
+        raise DimensionMismatchError(
+            f"expected 2-D arrays, got shapes {left.shape} and {right.shape}"
+        )
+    if left.shape[1] != right.shape[0]:
+        raise DimensionMismatchError(
+            f"cannot multiply shapes {left.shape} and {right.shape}"
+        )
+    return left @ right
+
+
+#: Shared immutable empty mapping returned for absent rows.
+_EMPTY_DICT: Dict[Label, int] = {}

@@ -1,0 +1,225 @@
+"""Spreading old-phase matrix products over the updates of a phase.
+
+Section 5.1 of the paper: a phase is ``m^{1-delta}`` updates, long enough that
+the full product of the old-phase matrices (dimension ``m^{2/3+2eps}``) can be
+computed within the phase while only doing ``O(m^{2/3-eps})`` work per update.
+That is what turns an amortized argument into a *worst-case* bound: the matrix
+product is started when a phase begins and advanced a bounded amount on every
+update ("Continue the matrix multiplication computation for O(m^{2/3-eps})
+steps" — Algorithm 2, Step 2).
+
+This module provides the machinery:
+
+* :class:`IncrementalMatrixProduct` — one product ``L · R`` computed row block
+  by row block, with explicit operation accounting.
+* :class:`ChainProductJob` — a chain ``M1 · M2 · ... · Mk`` computed as a
+  sequence of incremental products (the second product starts once the first
+  is complete).
+* :class:`PhaseScheduler` — a queue of jobs advanced by a fixed per-update
+  work budget; the counters call :meth:`PhaseScheduler.work` once per update.
+
+The scheduler is deliberately agnostic about what the products mean; the
+counters decide which snapshots to multiply and read the results once
+:meth:`ChainProductJob.is_complete` is true (i.e. at the phase boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Iterator, List, Optional
+
+from collections import deque
+
+from repro.exceptions import ConfigurationError, CounterStateError
+from repro.matmul.engine import CountMatrix
+
+
+class IncrementalMatrixProduct:
+    """Computes ``left · right`` one row at a time with work accounting.
+
+    The unit of work is one scalar multiply-add of the sparse row-times-matrix
+    product; :meth:`advance` performs up to ``budget`` units and reports how
+    many were actually used.  Rows whose work exceeds the remaining budget are
+    still finished atomically (a single row is the smallest indivisible step),
+    which at most doubles the per-call work — the same slack the paper's
+    big-O analysis absorbs.
+    """
+
+    def __init__(self, left: CountMatrix, right: CountMatrix) -> None:
+        self._left = left
+        self._right = right
+        self._pending_rows: Deque = deque(sorted(left.row_labels(), key=repr))
+        self._result = CountMatrix()
+        self._operations_done = 0
+
+    @property
+    def result(self) -> CountMatrix:
+        """The (possibly partial) product computed so far."""
+        return self._result
+
+    @property
+    def operations_done(self) -> int:
+        return self._operations_done
+
+    @property
+    def is_complete(self) -> bool:
+        return not self._pending_rows
+
+    def remaining_rows(self) -> int:
+        return len(self._pending_rows)
+
+    def advance(self, budget: int) -> int:
+        """Perform up to ``budget`` multiply-adds; return the amount done."""
+        if budget < 0:
+            raise ConfigurationError(f"budget must be non-negative, got {budget}")
+        done = 0
+        while self._pending_rows and done < budget:
+            row = self._pending_rows.popleft()
+            done += self._process_row(row)
+        self._operations_done += done
+        return done
+
+    def run_to_completion(self) -> int:
+        """Finish the whole product immediately; return the work performed."""
+        done = 0
+        while self._pending_rows:
+            row = self._pending_rows.popleft()
+            done += self._process_row(row)
+        self._operations_done += done
+        return done
+
+    def _process_row(self, row) -> int:
+        operations = 0
+        for middle, left_value in self._left.row(row).items():
+            right_row = self._right.row(middle)
+            operations += max(len(right_row), 1)
+            for column, right_value in right_row.items():
+                self._result.add(row, column, left_value * right_value)
+        return max(operations, 1)
+
+
+class ChainProductJob:
+    """A chain product ``M1 · M2 · ... · Mk`` computed incrementally.
+
+    The chain is evaluated left to right: the product of the first two
+    matrices is computed incrementally; when it completes, an incremental
+    product of the partial result with the next matrix starts, and so on.
+    ``name`` identifies the job (e.g. ``"A_old*B_old*C_old"``) for diagnostics.
+    """
+
+    def __init__(self, matrices: List[CountMatrix], name: str = "chain") -> None:
+        if not matrices:
+            raise ConfigurationError("ChainProductJob requires at least one matrix")
+        self.name = name
+        self._matrices = list(matrices)
+        self._stage_index = 0
+        self._operations_done = 0
+        if len(self._matrices) == 1:
+            self._current: Optional[IncrementalMatrixProduct] = None
+            self._accumulated = self._matrices[0]
+        else:
+            self._current = IncrementalMatrixProduct(self._matrices[0], self._matrices[1])
+            self._accumulated = None
+
+    @property
+    def operations_done(self) -> int:
+        return self._operations_done
+
+    @property
+    def is_complete(self) -> bool:
+        return self._current is None
+
+    @property
+    def result(self) -> CountMatrix:
+        """The final product; only valid once :attr:`is_complete` is true."""
+        if not self.is_complete:
+            raise CounterStateError(
+                f"chain product {self.name!r} is not complete yet; "
+                "the result can only be read at the phase boundary"
+            )
+        assert self._accumulated is not None
+        return self._accumulated
+
+    def advance(self, budget: int) -> int:
+        """Advance the chain by up to ``budget`` units of work."""
+        done = 0
+        while self._current is not None and done < budget:
+            done += self._current.advance(budget - done)
+            if self._current.is_complete:
+                partial = self._current.result
+                next_index = self._stage_index + 2
+                if next_index < len(self._matrices):
+                    self._current = IncrementalMatrixProduct(partial, self._matrices[next_index])
+                    self._stage_index += 1
+                else:
+                    self._accumulated = partial
+                    self._current = None
+        self._operations_done += done
+        return done
+
+    def run_to_completion(self) -> int:
+        """Finish the whole chain immediately; return the work performed."""
+        done = 0
+        while not self.is_complete:
+            done += self.advance(budget=1 << 30)
+        return done
+
+
+@dataclass
+class PhaseScheduler:
+    """A queue of chain-product jobs advanced by a per-update work budget.
+
+    The counters register the old-phase products at a phase boundary with
+    :meth:`submit` and call :meth:`work` once per update with the budget
+    ``O(m^{2/3 - eps})``; :meth:`all_complete` reports whether every job has
+    finished (which the paper's phase-length constraint, Eq. (9), guarantees
+    by the end of the phase).
+    """
+
+    budget_per_update: int = 0
+    _jobs: List[ChainProductJob] = field(default_factory=list)
+    total_operations: int = 0
+    updates_seen: int = 0
+
+    def submit(self, job: ChainProductJob) -> None:
+        """Register a job to be advanced by subsequent :meth:`work` calls."""
+        self._jobs.append(job)
+
+    def clear(self) -> None:
+        """Drop all jobs (used when a phase is abandoned, e.g. on reset)."""
+        self._jobs.clear()
+
+    def jobs(self) -> Iterator[ChainProductJob]:
+        return iter(self._jobs)
+
+    def pending_jobs(self) -> List[ChainProductJob]:
+        return [job for job in self._jobs if not job.is_complete]
+
+    def all_complete(self) -> bool:
+        return all(job.is_complete for job in self._jobs)
+
+    def work(self, budget: Optional[int] = None) -> int:
+        """Advance pending jobs by ``budget`` units (default: the per-update
+        budget set at construction time); return the work performed."""
+        allowance = self.budget_per_update if budget is None else budget
+        if allowance < 0:
+            raise ConfigurationError(f"budget must be non-negative, got {allowance}")
+        self.updates_seen += 1
+        done = 0
+        for job in self._jobs:
+            if done >= allowance:
+                break
+            if not job.is_complete:
+                done += job.advance(allowance - done)
+        self.total_operations += done
+        return done
+
+    def finish_all(self) -> int:
+        """Run every pending job to completion (used at phase boundaries when
+        the remaining work must be flushed, and in tests)."""
+        done = 0
+        for job in self._jobs:
+            if not job.is_complete:
+                done += job.run_to_completion()
+        self.total_operations += done
+        return done

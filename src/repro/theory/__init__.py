@@ -1,0 +1,60 @@
+"""Constraint systems, parameter solving, and exponent tables (the paper's
+analytic results: Theorems 1 and 2, Sections 3.4 and 4, Appendix B)."""
+
+from repro.theory.constraints import (
+    Constraint,
+    ConstraintEvaluation,
+    ConstraintSystem,
+    main_constraint_system,
+    warmup_constraint_system,
+)
+from repro.theory.exponents import (
+    HHH22_EXPONENT,
+    LOWER_BOUND_EXPONENT,
+    ExponentRow,
+    OmegaSweepRow,
+    comparison_table,
+    improvement_margin,
+    improvement_threshold,
+    omega_sweep,
+    predicted_speedup,
+    update_time_exponent,
+)
+from repro.theory.parameters import (
+    MainParameters,
+    PublishedParameters,
+    VerificationReport,
+    WarmupParameters,
+    published_parameters,
+    solve_main_parameters,
+    solve_warmup_parameters,
+    sweep_omega,
+    verify_published_parameters,
+)
+
+__all__ = [
+    "Constraint",
+    "ConstraintEvaluation",
+    "ConstraintSystem",
+    "main_constraint_system",
+    "warmup_constraint_system",
+    "MainParameters",
+    "WarmupParameters",
+    "PublishedParameters",
+    "VerificationReport",
+    "solve_main_parameters",
+    "solve_warmup_parameters",
+    "published_parameters",
+    "verify_published_parameters",
+    "sweep_omega",
+    "ExponentRow",
+    "OmegaSweepRow",
+    "comparison_table",
+    "update_time_exponent",
+    "improvement_margin",
+    "improvement_threshold",
+    "omega_sweep",
+    "predicted_speedup",
+    "HHH22_EXPONENT",
+    "LOWER_BOUND_EXPONENT",
+]

@@ -1,0 +1,124 @@
+"""Predicted update-time exponents and comparison tables.
+
+This module turns the solved parameters into the "who wins by how much"
+numbers a reader of the paper cares about:
+
+* the update-time exponent ``2/3 - eps(omega)`` of the new algorithm,
+* the ``O(m^{2/3})`` baseline of [HHH22],
+* the ``O(m^{1/2})`` conditional lower bound (OMv),
+* the ``O(n)`` simple algorithm of Appendix A (expressed in ``m`` for a given
+  density assumption),
+
+plus the omega-sweep used by the E8 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.matmul.omega import OMEGA_BEST, OMEGA_CURRENT, OMEGA_IMPROVEMENT_THRESHOLD
+from repro.theory.parameters import MainParameters, solve_main_parameters
+
+#: Update-time exponent of the previous best algorithm [HHH22].
+HHH22_EXPONENT = 2.0 / 3.0
+
+#: Conditional lower bound exponent under the OMv conjecture [HKNS15].
+LOWER_BOUND_EXPONENT = 0.5
+
+
+@dataclass(frozen=True)
+class ExponentRow:
+    """One row of the exponent comparison table."""
+
+    algorithm: str
+    exponent: float
+    note: str = ""
+
+    def predicted_cost(self, m: int) -> float:
+        """The predicted per-update cost ``m^exponent`` for a concrete ``m``."""
+        return float(max(m, 1)) ** self.exponent
+
+
+def update_time_exponent(omega: float = OMEGA_CURRENT) -> float:
+    """The exponent of the paper's worst-case update time for a given omega."""
+    return solve_main_parameters(omega, validate=False).update_time_exponent
+
+
+def improvement_margin(omega: float = OMEGA_CURRENT) -> float:
+    """``eps(omega)``: how much the paper improves over the 2/3 exponent."""
+    return solve_main_parameters(omega, validate=False).eps
+
+
+def improvement_threshold() -> float:
+    """The omega below which the approach yields any improvement (2.5)."""
+    return OMEGA_IMPROVEMENT_THRESHOLD
+
+
+def comparison_table(omega: float = OMEGA_CURRENT) -> List[ExponentRow]:
+    """The headline comparison the introduction makes.
+
+    The rows mirror the paper's discussion: the OMv lower bound, the [HHH22]
+    upper bound, and the new bound under the current and best possible omega.
+    """
+    current = solve_main_parameters(omega, validate=False)
+    best = solve_main_parameters(OMEGA_BEST, validate=False)
+    return [
+        ExponentRow(
+            algorithm="OMv conditional lower bound",
+            exponent=LOWER_BOUND_EXPONENT,
+            note="Omega(m^{1/2 - gamma}) for any gamma > 0 [HKNS15]",
+        ),
+        ExponentRow(
+            algorithm="HHH22 (previous best upper bound)",
+            exponent=HHH22_EXPONENT,
+            note="O(m^{2/3}) worst-case update time [HHH22]",
+        ),
+        ExponentRow(
+            algorithm=f"This paper (omega = {omega:g})",
+            exponent=current.update_time_exponent,
+            note=f"eps = {current.eps:.6f}",
+        ),
+        ExponentRow(
+            algorithm="This paper (omega = 2)",
+            exponent=best.update_time_exponent,
+            note="eps = 1/24",
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class OmegaSweepRow:
+    """One row of the omega-ablation table (experiment E8)."""
+
+    omega: float
+    eps: float
+    delta: float
+    update_time_exponent: float
+    improves: bool
+
+
+def omega_sweep(omegas: Iterable[float]) -> List[OmegaSweepRow]:
+    """Solve the main system for every omega in ``omegas``."""
+    rows: List[OmegaSweepRow] = []
+    for omega in omegas:
+        parameters: MainParameters = solve_main_parameters(omega, validate=False)
+        rows.append(
+            OmegaSweepRow(
+                omega=omega,
+                eps=parameters.eps,
+                delta=parameters.delta,
+                update_time_exponent=parameters.update_time_exponent,
+                improves=parameters.improves_over_previous_work,
+            )
+        )
+    return rows
+
+
+def predicted_speedup(m: int, omega: float = OMEGA_CURRENT) -> float:
+    """Predicted factor between the [HHH22] cost and the paper's cost at ``m``.
+
+    Equal to ``m^{eps(omega)}``; the paper notes this improvement is small but
+    comparable to other landmark "slight improvement" results.
+    """
+    return float(max(m, 1)) ** improvement_margin(omega)

@@ -1,0 +1,31 @@
+"""Synthetic workload generators for graphs and joins."""
+
+from repro.workloads.generators import (
+    complete_bipartite_stream,
+    erdos_renyi_stream,
+    hub_adversarial_stream,
+    mixed_churn_stream,
+    power_law_stream,
+    sliding_window_stream,
+    stream_catalogue,
+)
+from repro.workloads.join_workloads import (
+    JOIN_RELATIONS,
+    figure_one_workload,
+    random_join_workload,
+    skewed_join_workload,
+)
+
+__all__ = [
+    "erdos_renyi_stream",
+    "power_law_stream",
+    "hub_adversarial_stream",
+    "sliding_window_stream",
+    "mixed_churn_stream",
+    "complete_bipartite_stream",
+    "stream_catalogue",
+    "random_join_workload",
+    "skewed_join_workload",
+    "figure_one_workload",
+    "JOIN_RELATIONS",
+]

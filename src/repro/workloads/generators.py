@@ -1,0 +1,304 @@
+"""Synthetic fully dynamic update-stream generators.
+
+The paper evaluates nothing empirically, so these workloads are the synthetic
+stand-ins the benchmark harness uses to exercise the algorithms on the regimes
+the paper's analysis cares about:
+
+* :func:`erdos_renyi_stream` — uniformly random edges, the neutral baseline.
+* :func:`power_law_stream` — skewed degrees, which creates the high/dense
+  vertices whose treatment is the whole point of the degree-class machinery.
+* :func:`hub_adversarial_stream` — a small set of hubs incident to most edges,
+  approximating the worst case for neighborhood-scanning algorithms.
+* :func:`sliding_window_stream` — every edge expires after a fixed number of
+  updates, the classic fully dynamic IVM pattern (inserts and deletes
+  interleaved forever).
+* :func:`mixed_churn_stream` — random interleaving of insertions and deletions
+  with a target live-edge count.
+
+All generators are deterministic given their ``seed`` and return
+:class:`~repro.graph.updates.UpdateStream` objects that are guaranteed
+consistent (no duplicate inserts, no deletes of absent edges).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.graph.updates import EdgeUpdate, UpdateStream
+
+Vertex = Hashable
+
+
+def _require_positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def erdos_renyi_stream(
+    num_vertices: int,
+    num_updates: int,
+    delete_fraction: float = 0.3,
+    seed: int = 0,
+) -> UpdateStream:
+    """A uniformly random insert/delete stream on ``num_vertices`` vertices.
+
+    Each step inserts a uniformly random absent edge with probability
+    ``1 - delete_fraction`` (or when nothing can be deleted) and deletes a
+    uniformly random present edge otherwise.
+    """
+    _require_positive("num_vertices", num_vertices)
+    _require_positive("num_updates", num_updates)
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ConfigurationError(f"delete_fraction must be in [0, 1), got {delete_fraction}")
+    rng = random.Random(seed)
+    live: List[tuple[Vertex, Vertex]] = []
+    live_set: set[tuple[Vertex, Vertex]] = set()
+    updates: List[EdgeUpdate] = []
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    while len(updates) < num_updates:
+        want_delete = live and (rng.random() < delete_fraction or len(live_set) >= max_edges)
+        if want_delete:
+            index = rng.randrange(len(live))
+            edge = live[index]
+            live[index] = live[-1]
+            live.pop()
+            live_set.discard(edge)
+            updates.append(EdgeUpdate.delete(*edge))
+        else:
+            edge = _random_absent_edge(rng, num_vertices, live_set)
+            if edge is None:
+                continue
+            live.append(edge)
+            live_set.add(edge)
+            updates.append(EdgeUpdate.insert(*edge))
+    return UpdateStream(updates)
+
+
+def power_law_stream(
+    num_vertices: int,
+    num_updates: int,
+    exponent: float = 2.2,
+    delete_fraction: float = 0.25,
+    seed: int = 0,
+) -> UpdateStream:
+    """A skewed-degree stream: endpoints drawn from a Zipf-like distribution.
+
+    Vertex ``i`` is chosen with probability proportional to
+    ``(i + 1) ** -exponent``, so a handful of vertices become high degree —
+    exactly the regime where the paper's high/dense classes are populated.
+    """
+    _require_positive("num_vertices", num_vertices)
+    _require_positive("num_updates", num_updates)
+    if exponent <= 0:
+        raise ConfigurationError(f"exponent must be positive, got {exponent}")
+    rng = random.Random(seed)
+    weights = [(index + 1) ** (-exponent) for index in range(num_vertices)]
+    vertices = list(range(num_vertices))
+    live: List[tuple[Vertex, Vertex]] = []
+    live_set: set[tuple[Vertex, Vertex]] = set()
+    updates: List[EdgeUpdate] = []
+    attempts_limit = 50 * num_updates
+    attempts = 0
+    while len(updates) < num_updates and attempts < attempts_limit:
+        attempts += 1
+        if live and rng.random() < delete_fraction:
+            index = rng.randrange(len(live))
+            edge = live[index]
+            live[index] = live[-1]
+            live.pop()
+            live_set.discard(edge)
+            updates.append(EdgeUpdate.delete(*edge))
+            continue
+        u, v = rng.choices(vertices, weights=weights, k=2)
+        if u == v:
+            continue
+        key = (u, v) if u <= v else (v, u)
+        if key in live_set:
+            continue
+        live.append(key)
+        live_set.add(key)
+        updates.append(EdgeUpdate.insert(*key))
+    return UpdateStream(updates)
+
+
+def hub_adversarial_stream(
+    num_vertices: int,
+    num_updates: int,
+    num_hubs: int = 2,
+    hub_probability: float = 0.8,
+    delete_fraction: float = 0.2,
+    seed: int = 0,
+) -> UpdateStream:
+    """A stream where most edges touch a small set of hub vertices.
+
+    Hubs quickly reach the high/dense degree classes and their neighborhoods
+    become too large to scan, which is the situation the paper's stored wedge
+    structures (and [HHH22]'s before it) exist to handle.
+    """
+    _require_positive("num_vertices", num_vertices)
+    _require_positive("num_updates", num_updates)
+    if not 1 <= num_hubs < num_vertices:
+        raise ConfigurationError(
+            f"num_hubs must be in [1, num_vertices), got {num_hubs} for {num_vertices} vertices"
+        )
+    rng = random.Random(seed)
+    hubs = list(range(num_hubs))
+    others = list(range(num_hubs, num_vertices))
+    live: List[tuple[Vertex, Vertex]] = []
+    live_set: set[tuple[Vertex, Vertex]] = set()
+    updates: List[EdgeUpdate] = []
+    attempts_limit = 50 * num_updates
+    attempts = 0
+    while len(updates) < num_updates and attempts < attempts_limit:
+        attempts += 1
+        if live and rng.random() < delete_fraction:
+            index = rng.randrange(len(live))
+            edge = live[index]
+            live[index] = live[-1]
+            live.pop()
+            live_set.discard(edge)
+            updates.append(EdgeUpdate.delete(*edge))
+            continue
+        if rng.random() < hub_probability:
+            u = rng.choice(hubs)
+            v = rng.choice(others)
+        else:
+            u, v = rng.sample(others, 2) if len(others) >= 2 else rng.sample(range(num_vertices), 2)
+        if u == v:
+            continue
+        key = (u, v) if u <= v else (v, u)
+        if key in live_set:
+            continue
+        live.append(key)
+        live_set.add(key)
+        updates.append(EdgeUpdate.insert(*key))
+    return UpdateStream(updates)
+
+
+def sliding_window_stream(
+    num_vertices: int,
+    num_insertions: int,
+    window_size: int,
+    seed: int = 0,
+) -> UpdateStream:
+    """Insert random edges; every edge is deleted ``window_size`` insertions later.
+
+    Models the streaming / expiring-tuples IVM workload: the live graph size
+    stays near ``window_size`` while insertions and deletions alternate.
+    """
+    _require_positive("num_vertices", num_vertices)
+    _require_positive("num_insertions", num_insertions)
+    _require_positive("window_size", window_size)
+    rng = random.Random(seed)
+    live_set: set[tuple[Vertex, Vertex]] = set()
+    window: List[tuple[Vertex, Vertex]] = []
+    updates: List[EdgeUpdate] = []
+    inserted = 0
+    attempts = 0
+    attempts_limit = 100 * num_insertions
+    while inserted < num_insertions and attempts < attempts_limit:
+        attempts += 1
+        edge = _random_absent_edge(rng, num_vertices, live_set)
+        if edge is None:
+            break
+        live_set.add(edge)
+        window.append(edge)
+        updates.append(EdgeUpdate.insert(*edge))
+        inserted += 1
+        if len(window) > window_size:
+            expired = window.pop(0)
+            live_set.discard(expired)
+            updates.append(EdgeUpdate.delete(*expired))
+    return UpdateStream(updates)
+
+
+def mixed_churn_stream(
+    num_vertices: int,
+    num_updates: int,
+    target_live_edges: int,
+    seed: int = 0,
+) -> UpdateStream:
+    """Random churn that hovers around ``target_live_edges`` live edges.
+
+    Below the target, insertions are more likely; above it, deletions are.
+    Useful for measuring steady-state update cost at a controlled ``m``.
+    """
+    _require_positive("num_vertices", num_vertices)
+    _require_positive("num_updates", num_updates)
+    _require_positive("target_live_edges", target_live_edges)
+    rng = random.Random(seed)
+    live: List[tuple[Vertex, Vertex]] = []
+    live_set: set[tuple[Vertex, Vertex]] = set()
+    updates: List[EdgeUpdate] = []
+    while len(updates) < num_updates:
+        pressure = len(live_set) / float(target_live_edges)
+        delete_probability = min(0.9, 0.5 * pressure)
+        if live and rng.random() < delete_probability:
+            index = rng.randrange(len(live))
+            edge = live[index]
+            live[index] = live[-1]
+            live.pop()
+            live_set.discard(edge)
+            updates.append(EdgeUpdate.delete(*edge))
+        else:
+            edge = _random_absent_edge(rng, num_vertices, live_set)
+            if edge is None:
+                continue
+            live.append(edge)
+            live_set.add(edge)
+            updates.append(EdgeUpdate.insert(*edge))
+    return UpdateStream(updates)
+
+
+def complete_bipartite_stream(left_size: int, right_size: int) -> UpdateStream:
+    """Insert every edge of ``K_{left,right}`` (a dense, 4-cycle-rich graph).
+
+    The number of 4-cycles of the final graph is
+    ``C(left_size, 2) * C(right_size, 2)``, a handy closed form for tests.
+    """
+    _require_positive("left_size", left_size)
+    _require_positive("right_size", right_size)
+    edges = [
+        (f"l{i}", f"r{j}")
+        for i in range(left_size)
+        for j in range(right_size)
+    ]
+    return UpdateStream.from_edges(edges)
+
+
+def _random_absent_edge(
+    rng: random.Random,
+    num_vertices: int,
+    live_set: set[tuple[Vertex, Vertex]],
+    max_attempts: int = 200,
+) -> Optional[tuple[Vertex, Vertex]]:
+    """A uniformly random edge not currently live, or ``None`` if sampling fails."""
+    for _ in range(max_attempts):
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        key = (u, v) if u <= v else (v, u)
+        if key not in live_set:
+            return key
+    return None
+
+
+def stream_catalogue(scale: int = 1, seed: int = 0) -> dict[str, UpdateStream]:
+    """A small named collection of streams at a given scale, used by tests and
+    the cross-validation experiment (E4)."""
+    base_vertices = 24 * scale
+    base_updates = 160 * scale
+    return {
+        "erdos-renyi": erdos_renyi_stream(base_vertices, base_updates, seed=seed),
+        "power-law": power_law_stream(base_vertices, base_updates, seed=seed + 1),
+        "hubs": hub_adversarial_stream(base_vertices, base_updates, seed=seed + 2),
+        "sliding-window": sliding_window_stream(
+            base_vertices, base_updates, window_size=max(8, base_updates // 4), seed=seed + 3
+        ),
+        "churn": mixed_churn_stream(
+            base_vertices, base_updates, target_live_edges=max(10, base_updates // 3), seed=seed + 4
+        ),
+    }

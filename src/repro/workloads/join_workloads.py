@@ -1,0 +1,133 @@
+"""Database-flavored workloads: tuple-update streams for the cyclic join view.
+
+These generate :class:`~repro.db.ivm.TupleUpdate` sequences against the
+canonical 4-cycle join schema, mirroring the paper's IVM motivation: four
+relations continuously updated, with the join count maintained after every
+update (experiment E7).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.db.ivm import TupleUpdate
+from repro.exceptions import ConfigurationError
+
+#: Relation names of the canonical 4-cycle join.
+JOIN_RELATIONS = ("A", "B", "C", "D")
+
+
+def random_join_workload(
+    domain_size: int,
+    num_updates: int,
+    delete_fraction: float = 0.25,
+    seed: int = 0,
+) -> List[TupleUpdate]:
+    """Uniformly random tuple inserts/deletes across the four relations.
+
+    Every attribute shares one value domain ``0 .. domain_size - 1`` (as in the
+    Section 8 reduction).  The stream is consistent: no duplicate insertions,
+    no deletions of absent tuples.
+    """
+    if domain_size <= 0:
+        raise ConfigurationError(f"domain_size must be positive, got {domain_size}")
+    if num_updates <= 0:
+        raise ConfigurationError(f"num_updates must be positive, got {num_updates}")
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ConfigurationError(f"delete_fraction must be in [0, 1), got {delete_fraction}")
+    rng = random.Random(seed)
+    live: Dict[str, Set[Tuple[int, int]]] = {name: set() for name in JOIN_RELATIONS}
+    live_lists: Dict[str, List[Tuple[int, int]]] = {name: [] for name in JOIN_RELATIONS}
+    updates: List[TupleUpdate] = []
+    attempts = 0
+    attempts_limit = 100 * num_updates
+    while len(updates) < num_updates and attempts < attempts_limit:
+        attempts += 1
+        relation = rng.choice(JOIN_RELATIONS)
+        if live_lists[relation] and rng.random() < delete_fraction:
+            index = rng.randrange(len(live_lists[relation]))
+            pair = live_lists[relation][index]
+            live_lists[relation][index] = live_lists[relation][-1]
+            live_lists[relation].pop()
+            live[relation].discard(pair)
+            updates.append(TupleUpdate.delete(relation, pair[0], pair[1]))
+            continue
+        pair = (rng.randrange(domain_size), rng.randrange(domain_size))
+        if pair in live[relation]:
+            continue
+        live[relation].add(pair)
+        live_lists[relation].append(pair)
+        updates.append(TupleUpdate.insert(relation, pair[0], pair[1]))
+    return updates
+
+
+def skewed_join_workload(
+    domain_size: int,
+    num_updates: int,
+    hot_fraction: float = 0.1,
+    hot_probability: float = 0.7,
+    delete_fraction: float = 0.2,
+    seed: int = 0,
+) -> List[TupleUpdate]:
+    """A join workload with hot attribute values (skewed data).
+
+    A ``hot_fraction`` of the domain receives ``hot_probability`` of the
+    references, creating heavy values — the database analogue of the high /
+    dense vertices the paper's class machinery targets.
+    """
+    if domain_size <= 1:
+        raise ConfigurationError(f"domain_size must be at least 2, got {domain_size}")
+    if not 0.0 < hot_fraction < 1.0:
+        raise ConfigurationError(f"hot_fraction must be in (0, 1), got {hot_fraction}")
+    if not 0.0 <= hot_probability <= 1.0:
+        raise ConfigurationError(f"hot_probability must be in [0, 1], got {hot_probability}")
+    rng = random.Random(seed)
+    hot_count = max(1, int(domain_size * hot_fraction))
+    hot_values = list(range(hot_count))
+    cold_values = list(range(hot_count, domain_size))
+
+    def draw_value() -> int:
+        if cold_values and rng.random() >= hot_probability:
+            return rng.choice(cold_values)
+        return rng.choice(hot_values)
+
+    live: Dict[str, Set[Tuple[int, int]]] = {name: set() for name in JOIN_RELATIONS}
+    live_lists: Dict[str, List[Tuple[int, int]]] = {name: [] for name in JOIN_RELATIONS}
+    updates: List[TupleUpdate] = []
+    attempts = 0
+    attempts_limit = 100 * num_updates
+    while len(updates) < num_updates and attempts < attempts_limit:
+        attempts += 1
+        relation = rng.choice(JOIN_RELATIONS)
+        if live_lists[relation] and rng.random() < delete_fraction:
+            index = rng.randrange(len(live_lists[relation]))
+            pair = live_lists[relation][index]
+            live_lists[relation][index] = live_lists[relation][-1]
+            live_lists[relation].pop()
+            live[relation].discard(pair)
+            updates.append(TupleUpdate.delete(relation, pair[0], pair[1]))
+            continue
+        pair = (draw_value(), draw_value())
+        if pair in live[relation]:
+            continue
+        live[relation].add(pair)
+        live_lists[relation].append(pair)
+        updates.append(TupleUpdate.insert(relation, pair[0], pair[1]))
+    return updates
+
+
+def figure_one_workload() -> List[TupleUpdate]:
+    """The worked example of the paper's Figure 1 as an insertion stream.
+
+    Relations ``A(L1, L2) = {(1,1), (1,2), (1,3), (2,2), (3,2)}`` and
+    ``B(L2, L3) = {(1,1), (2,1), (3,1), (3,3)}``; ``C`` and ``D`` are left
+    empty, so the cyclic-join count stays zero while the binary join
+    ``A ⋈ B`` has the six result tuples listed in the figure (checked by the
+    example scripts and tests through :func:`repro.db.join.count_two_hop_join`).
+    """
+    a_tuples = [(1, 1), (1, 2), (1, 3), (2, 2), (3, 2)]
+    b_tuples = [(1, 1), (2, 1), (3, 1), (3, 3)]
+    updates = [TupleUpdate.insert("A", left, right) for left, right in a_tuples]
+    updates.extend(TupleUpdate.insert("B", left, right) for left, right in b_tuples)
+    return updates

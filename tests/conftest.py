@@ -1,0 +1,81 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.registry import available_counters, create_counter
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.updates import EdgeUpdate, UpdateStream
+
+
+def square_edges() -> list[tuple[str, str]]:
+    """A single 4-cycle a-b-c-d-a."""
+    return [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]
+
+
+def k4_edges() -> list[tuple[int, int]]:
+    """The complete graph on 4 vertices (contains exactly three 4-cycles)."""
+    return [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+
+
+def complete_bipartite_edges(left: int, right: int) -> list[tuple[str, str]]:
+    """K_{left,right}; it has C(left,2) * C(right,2) 4-cycles."""
+    return [(f"l{i}", f"r{j}") for i in range(left) for j in range(right)]
+
+
+def expected_bipartite_cycles(left: int, right: int) -> int:
+    return (left * (left - 1) // 2) * (right * (right - 1) // 2)
+
+
+def random_dynamic_stream(
+    num_vertices: int, num_updates: int, seed: int, delete_fraction: float = 0.3
+) -> UpdateStream:
+    """A consistent random insert/delete stream (self-contained, no generator
+    dependency so graph/counter tests do not depend on the workloads module)."""
+    rng = random.Random(seed)
+    live: list[tuple[int, int]] = []
+    live_set: set[tuple[int, int]] = set()
+    updates: list[EdgeUpdate] = []
+    while len(updates) < num_updates:
+        if live and rng.random() < delete_fraction:
+            index = rng.randrange(len(live))
+            edge = live[index]
+            live[index] = live[-1]
+            live.pop()
+            live_set.discard(edge)
+            updates.append(EdgeUpdate.delete(*edge))
+            continue
+        u, v = rng.randrange(num_vertices), rng.randrange(num_vertices)
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in live_set:
+            continue
+        live.append(key)
+        live_set.add(key)
+        updates.append(EdgeUpdate.insert(*key))
+    return UpdateStream(updates)
+
+
+@pytest.fixture
+def square_graph() -> DynamicGraph:
+    return DynamicGraph(edges=square_edges())
+
+
+@pytest.fixture
+def k4_graph() -> DynamicGraph:
+    return DynamicGraph(edges=k4_edges())
+
+
+@pytest.fixture(params=sorted(available_counters()))
+def any_counter(request):
+    """Parametrized fixture yielding a fresh instance of every registered counter."""
+    return create_counter(request.param)
+
+
+@pytest.fixture
+def small_stream() -> UpdateStream:
+    return random_dynamic_stream(num_vertices=12, num_updates=120, seed=7)

@@ -1,0 +1,116 @@
+"""Tests for the main algorithm's oracle and counter (Sections 4-7)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.assadi_shah import (
+    AssadiShahCounter,
+    AssadiShahThreePathOracle,
+    expected_phase_length,
+    expected_update_exponent,
+)
+from repro.instrumentation.harness import run_validated
+from repro.workloads.generators import hub_adversarial_stream, power_law_stream
+
+from tests.conftest import random_dynamic_stream
+from tests.core.test_oracles import drive_oracle_randomly
+
+
+class TestOracleExactness:
+    @pytest.mark.parametrize("phase_length", [1, 5, 17, 200])
+    def test_exact_for_any_phase_length(self, phase_length):
+        oracle = AssadiShahThreePathOracle(phase_length=phase_length)
+        drive_oracle_randomly(oracle, seed=100 + phase_length, steps=220)
+
+    def test_exact_with_small_eps_thresholds(self):
+        """A small dense threshold forces vertices into the dense class and
+        exercises the Section 7 transition patches."""
+        oracle = AssadiShahThreePathOracle(phase_length=7, eps=0.15)
+        drive_oracle_randomly(oracle, seed=7, steps=220, domain=6)
+
+    def test_sparse_wedge_structures_match_definition(self):
+        oracle = AssadiShahThreePathOracle(phase_length=50)
+        rng = random.Random(3)
+        for _ in range(120):
+            position = rng.choice((1, 2, 3))
+            left, right = rng.randrange(7), rng.randrange(7)
+            if oracle.relation(position).has(left, right):
+                oracle.delete(position, left, right)
+            else:
+                oracle.insert(position, left, right)
+        # A^{*S} B^{S*}: recompute from scratch and compare entry by entry.
+        for u in range(7):
+            for y in range(7):
+                expected = 0
+                for x in oracle.relation(1).forward.get(u, set()):
+                    if x in oracle.dense_l2:
+                        continue
+                    if oracle.relation(2).has(x, y):
+                        expected += 1
+                assert oracle.sparse_wedges_ab.get(u, y) == expected
+        # B^{*S} C^{S*} similarly.
+        for x in range(7):
+            for v in range(7):
+                expected = 0
+                for y in oracle.relation(2).forward.get(x, set()):
+                    if y in oracle.dense_l3:
+                        continue
+                    if oracle.relation(3).has(y, v):
+                        expected += 1
+                assert oracle.sparse_wedges_bc.get(x, v) == expected
+
+    def test_dense_class_populated_under_skew(self):
+        oracle = AssadiShahThreePathOracle(phase_length=30, eps=0.1)
+        for index in range(40):
+            oracle.insert(2, "hot", f"y{index}")
+            oracle.insert(1, f"u{index}", "hot")
+        assert "hot" in oracle.dense_l2
+
+    def test_high_endpoint_detection(self):
+        oracle = AssadiShahThreePathOracle(phase_length=30)
+        for index in range(30):
+            oracle.insert(1, "star", f"x{index}")
+        assert oracle.is_high_left("star")
+        assert not oracle.is_high_left("nobody")
+
+
+class TestCounter:
+    def test_validated_on_random_streams(self):
+        stream = random_dynamic_stream(num_vertices=11, num_updates=130, seed=41)
+        counter = AssadiShahCounter(phase_length=11)
+        assert run_validated(counter, stream).validated
+
+    def test_validated_on_power_law(self):
+        stream = power_law_stream(num_vertices=16, num_updates=120, seed=42)
+        assert run_validated(AssadiShahCounter(phase_length=9), stream).validated
+
+    def test_validated_on_hubs(self):
+        stream = hub_adversarial_stream(num_vertices=16, num_updates=130, num_hubs=2, seed=43)
+        assert run_validated(AssadiShahCounter(phase_length=13), stream).validated
+
+    def test_phases_progress(self):
+        counter = AssadiShahCounter(phase_length=6)
+        stream = random_dynamic_stream(num_vertices=10, num_updates=80, seed=44)
+        counter.apply_all(stream)
+        # Each general update expands into six oracle updates.
+        assert counter.phases_completed >= (6 * 80) // 6 - 1
+
+    def test_typed_accessor(self):
+        counter = AssadiShahCounter(phase_length=5)
+        assert isinstance(counter.main_oracle, AssadiShahThreePathOracle)
+
+
+class TestTheoreticalHelpers:
+    def test_expected_update_exponent(self):
+        assert expected_update_exponent() == pytest.approx(2 / 3 - 0.0098109, abs=1e-6)
+        assert expected_update_exponent(eps=1 / 24) == pytest.approx(0.625)
+
+    def test_expected_phase_length(self):
+        assert expected_phase_length(1) == 1
+        assert expected_phase_length(10 ** 6, delta=0.125) == pytest.approx(
+            (10 ** 6) ** 0.875, rel=1e-6
+        )
+        assert expected_phase_length(10 ** 6) < 10 ** 6

@@ -1,0 +1,62 @@
+"""Tests specific to the HHH22-style baseline (classes, transitions, rebuilds)."""
+
+from __future__ import annotations
+
+from repro.core.hhh22 import HHH22Counter
+from repro.graph.updates import UpdateStream
+from repro.instrumentation.harness import run_validated
+
+from tests.conftest import random_dynamic_stream
+
+
+class TestClassMachinery:
+    def test_threshold_tracks_edge_count(self):
+        counter = HHH22Counter()
+        counter.apply_all(random_dynamic_stream(num_vertices=20, num_updates=200, seed=21))
+        m = counter.num_edges
+        # After the last full rebuild the threshold is close to m^(1/3).
+        assert 1.0 <= counter.threshold <= max(2.0, 2.0 * m ** (1 / 3))
+
+    def test_hub_becomes_high(self):
+        counter = HHH22Counter()
+        hub_edges = [("hub", f"v{i}") for i in range(25)]
+        counter.apply_all(UpdateStream.from_edges(hub_edges))
+        assert counter.is_high("hub")
+        assert not counter.is_high("v0")
+
+    def test_hub_demoted_after_deletions(self):
+        counter = HHH22Counter()
+        hub_edges = [("hub", f"v{i}") for i in range(25)]
+        counter.apply_all(UpdateStream.from_edges(hub_edges))
+        for i in range(24):
+            counter.delete_edge("hub", f"v{i}")
+        assert not counter.is_high("hub")
+        assert counter.count == 0
+
+    def test_transitions_preserve_exactness(self):
+        """A stream engineered to push a vertex across the threshold repeatedly."""
+        counter = HHH22Counter()
+        updates = []
+        # Grow and shrink a hub several times amid background edges.
+        background = [(f"a{i}", f"b{i}") for i in range(6)]
+        updates.extend(background)
+        stream = UpdateStream.from_edges(updates)
+        counter.apply_all(stream)
+        for _ in range(3):
+            for i in range(12):
+                counter.insert_edge("hub", f"x{i}")
+                assert counter.is_consistent()
+            for i in range(12):
+                counter.delete_edge("hub", f"x{i}")
+                assert counter.is_consistent()
+
+    def test_validated_on_dense_small_graph(self):
+        stream = random_dynamic_stream(num_vertices=7, num_updates=120, seed=22, delete_fraction=0.45)
+        assert run_validated(HHH22Counter(), stream).validated
+
+    def test_high_set_consistent_with_rebuild_threshold(self):
+        counter = HHH22Counter()
+        counter.apply_all(random_dynamic_stream(num_vertices=15, num_updates=150, seed=23))
+        for vertex in counter.high_vertices:
+            # A high vertex cannot have degree below the demotion threshold.
+            assert counter.graph.degree(vertex) >= counter.threshold

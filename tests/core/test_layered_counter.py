@@ -1,0 +1,134 @@
+"""Tests for the layered 4-cycle counter (Theorem 2) and its oracle copies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.assadi_shah import AssadiShahThreePathOracle
+from repro.core.layered import CHAINS, LayeredFourCycleCounter, query_direction
+from repro.core.oracles import NaiveThreePathOracle, PhaseThreePathOracle
+from repro.exceptions import InvalidUpdateError
+from repro.graph.updates import LayeredEdgeUpdate
+
+
+def drive_layered_counter(counter: LayeredFourCycleCounter, seed: int, steps: int, domain: int = 8):
+    rng = random.Random(seed)
+    live = {relation: set() for relation in "ABCD"}
+    for step in range(steps):
+        relation = rng.choice("ABCD")
+        if live[relation] and rng.random() < 0.35:
+            left, right = rng.choice(sorted(live[relation]))
+            live[relation].discard((left, right))
+            counter.delete(relation, left, right)
+        else:
+            left, right = rng.randrange(domain), rng.randrange(domain)
+            if (left, right) in live[relation]:
+                continue
+            live[relation].add((left, right))
+            counter.insert(relation, left, right)
+        assert counter.is_consistent(), f"diverged at step {step}"
+
+
+class TestChains:
+    def test_chain_definitions(self):
+        assert CHAINS["D"] == ("A", "B", "C")
+        assert CHAINS["A"] == ("B", "C", "D")
+        for query_relation, chain in CHAINS.items():
+            assert query_relation not in chain
+            assert len(set(chain)) == 3
+
+    def test_query_direction(self):
+        update = LayeredEdgeUpdate.insert("D", "v4", "v1")
+        assert query_direction(update) == ("v1", "v4")
+
+
+class TestSingleCycle:
+    def test_count_reaches_one(self):
+        counter = LayeredFourCycleCounter()
+        counter.insert("A", 1, 2)
+        counter.insert("B", 2, 3)
+        counter.insert("C", 3, 4)
+        assert counter.count == 0
+        counter.insert("D", 4, 1)
+        assert counter.count == 1
+
+    def test_any_insertion_order(self):
+        counter = LayeredFourCycleCounter()
+        counter.insert("D", 4, 1)
+        counter.insert("C", 3, 4)
+        counter.insert("B", 2, 3)
+        counter.insert("A", 1, 2)
+        assert counter.count == 1
+
+    def test_deleting_any_relation_removes_cycle(self):
+        for relation, pair in (("A", (1, 2)), ("B", (2, 3)), ("C", (3, 4)), ("D", (4, 1))):
+            counter = LayeredFourCycleCounter()
+            counter.insert("A", 1, 2)
+            counter.insert("B", 2, 3)
+            counter.insert("C", 3, 4)
+            counter.insert("D", 4, 1)
+            counter.delete(relation, *pair)
+            assert counter.count == 0
+
+    def test_complete_layered_graph(self):
+        counter = LayeredFourCycleCounter()
+        n = 3
+        for relation in "ABCD":
+            for left in range(n):
+                for right in range(n):
+                    counter.insert(relation, left, right)
+        assert counter.count == n ** 4
+        assert counter.is_consistent()
+
+
+class TestOracleChoices:
+    def test_naive_oracle(self):
+        drive_layered_counter(LayeredFourCycleCounter(), seed=1, steps=200)
+
+    def test_phase_oracle(self):
+        counter = LayeredFourCycleCounter(
+            oracle_factory=lambda: PhaseThreePathOracle(phase_length=9)
+        )
+        drive_layered_counter(counter, seed=2, steps=200)
+
+    def test_assadi_shah_oracle(self):
+        counter = LayeredFourCycleCounter(
+            oracle_factory=lambda: AssadiShahThreePathOracle(phase_length=7)
+        )
+        drive_layered_counter(counter, seed=3, steps=200)
+
+
+class TestBehaviour:
+    def test_apply_layered_updates(self):
+        counter = LayeredFourCycleCounter()
+        counter.apply(LayeredEdgeUpdate.insert("A", 1, 2))
+        assert counter.updates_processed == 1
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            LayeredFourCycleCounter().oracle_for("Z")
+
+    def test_process_stream(self):
+        counter = LayeredFourCycleCounter()
+        updates = [
+            LayeredEdgeUpdate.insert("A", 1, 2),
+            LayeredEdgeUpdate.insert("B", 2, 3),
+            LayeredEdgeUpdate.insert("C", 3, 4),
+            LayeredEdgeUpdate.insert("D", 4, 1),
+        ]
+        assert counter.process_stream(updates) == [0, 0, 0, 1]
+
+    def test_recount_requires_mirror(self):
+        counter = LayeredFourCycleCounter(mirror_graph=False)
+        counter.insert("A", 1, 2)
+        with pytest.raises(InvalidUpdateError):
+            counter.recount()
+
+    def test_oracles_share_cost_model(self):
+        counter = LayeredFourCycleCounter()
+        counter.insert("A", 1, 2)
+        assert counter.cost.total() >= 0
+        for relation in "ABCD":
+            assert counter.oracle_for(relation).cost is counter.cost

@@ -1,0 +1,42 @@
+"""Tests for the counter registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import DynamicFourCycleCounter
+from repro.core.brute_force import BruteForceCounter
+from repro.core.registry import available_counters, create_counter, register_counter
+from repro.exceptions import ConfigurationError
+
+
+EXPECTED_BUILTINS = {"brute-force", "wedge", "hhh22", "phase-fmm", "assadi-shah"}
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert EXPECTED_BUILTINS.issubset(set(available_counters()))
+
+    def test_create_counter(self):
+        counter = create_counter("wedge")
+        assert isinstance(counter, DynamicFourCycleCounter)
+        assert counter.name == "wedge"
+
+    def test_create_with_kwargs(self):
+        counter = create_counter("phase-fmm", phase_length=7)
+        assert counter.phase_length == 7
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            create_counter("does-not-exist")
+
+    def test_register_and_overwrite_protection(self):
+        register_counter("custom-test-counter", BruteForceCounter, overwrite=True)
+        assert "custom-test-counter" in available_counters()
+        with pytest.raises(ConfigurationError):
+            register_counter("custom-test-counter", BruteForceCounter)
+        register_counter("custom-test-counter", BruteForceCounter, overwrite=True)
+
+    def test_available_counters_sorted(self):
+        names = available_counters()
+        assert names == sorted(names)

@@ -1,0 +1,127 @@
+"""Tests for the Section 3 warm-up oracle (A and C fixed, chunked B)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.warmup import WarmupThreePathOracle
+from repro.exceptions import ConfigurationError, InvalidUpdateError
+
+
+def fixed_relations(seed: int, n: int = 9, density: float = 0.35):
+    rng = random.Random(seed)
+    a = [(i, j) for i in range(n) for j in range(n) if rng.random() < density]
+    c = [(j, k) for j in range(n) for k in range(n) if rng.random() < density]
+    return a, c
+
+
+def drive_b_updates(oracle: WarmupThreePathOracle, seed: int, steps: int, domain: int = 9) -> None:
+    rng = random.Random(seed)
+    live = set()
+    for step in range(steps):
+        if live and rng.random() < 0.35:
+            x, y = rng.choice(sorted(live))
+            live.discard((x, y))
+            oracle.delete(2, x, y)
+        else:
+            x, y = rng.randrange(domain), rng.randrange(domain)
+            if (x, y) in live:
+                continue
+            live.add((x, y))
+            oracle.insert(2, x, y)
+        u, v = rng.randrange(domain), rng.randrange(domain)
+        assert oracle.count_three_paths(u, v) == oracle.count_three_paths_naive(u, v), (
+            f"divergence at step {step}"
+        )
+
+
+class TestConstruction:
+    def test_fixed_relations_loaded(self):
+        a, c = fixed_relations(0)
+        oracle = WarmupThreePathOracle(a, c, chunk_size=5)
+        assert oracle.relation(1).size == len(a)
+        assert oracle.relation(3).size == len(c)
+        assert oracle.chunk_size == 5
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            WarmupThreePathOracle([], [], chunk_size=0)
+
+    def test_default_chunk_size_from_m(self):
+        a, c = fixed_relations(1)
+        oracle = WarmupThreePathOracle(a, c)
+        assert oracle.chunk_size >= 4
+
+    def test_high_classes_fixed(self):
+        a = [("hub", f"x{i}") for i in range(40)] + [("small", "x0")]
+        c = [(f"x{i}", "sink") for i in range(40)]
+        oracle = WarmupThreePathOracle(a, c, chunk_size=5, high_threshold=10)
+        assert oracle.is_high_left("hub")
+        assert not oracle.is_high_left("small")
+        assert oracle.is_high_right("sink")
+
+
+class TestAssumptionThree:
+    def test_updates_outside_b_rejected(self):
+        oracle = WarmupThreePathOracle([], [], chunk_size=4)
+        with pytest.raises(InvalidUpdateError):
+            oracle.insert(1, "u", "x")
+        with pytest.raises(InvalidUpdateError):
+            oracle.insert(3, "y", "v")
+
+
+class TestExactness:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 8, 1000])
+    def test_exact_for_any_chunk_size(self, chunk_size):
+        a, c = fixed_relations(2)
+        oracle = WarmupThreePathOracle(a, c, chunk_size=chunk_size)
+        drive_b_updates(oracle, seed=chunk_size, steps=220)
+
+    def test_exact_with_high_degree_endpoints(self):
+        """Force the P_HH (high/high) query path."""
+        a = [("hub", f"x{i}") for i in range(12)]
+        c = [(f"y{i}", "sink") for i in range(12)]
+        oracle = WarmupThreePathOracle(a, c, chunk_size=4, high_threshold=5)
+        rng = random.Random(9)
+        live = set()
+        for step in range(150):
+            x = f"x{rng.randrange(12)}"
+            y = f"y{rng.randrange(12)}"
+            if (x, y) in live:
+                live.discard((x, y))
+                oracle.delete(2, x, y)
+            else:
+                live.add((x, y))
+                oracle.insert(2, x, y)
+            assert oracle.count_three_paths("hub", "sink") == oracle.count_three_paths_naive(
+                "hub", "sink"
+            )
+        assert oracle.chunks_sealed > 0
+
+    def test_negative_edge_across_chunks(self):
+        """Insert in one chunk, delete in a later one: contributions cancel
+        (the Section 3.3 remark)."""
+        a = [("u", "x")]
+        c = [("y", "v")]
+        oracle = WarmupThreePathOracle(a, c, chunk_size=2)
+        oracle.insert(2, "x", "y")
+        # Pad out the chunk so the insertion is folded into the aggregates.
+        oracle.insert(2, "p1", "q1")
+        oracle.insert(2, "p2", "q2")
+        oracle.insert(2, "p3", "q3")
+        oracle.insert(2, "p4", "q4")
+        assert oracle.count_three_paths("u", "v") == 1
+        oracle.delete(2, "x", "y")
+        assert oracle.count_three_paths("u", "v") == 0
+        for index in range(6):
+            oracle.insert(2, f"r{index}", f"s{index}")
+        assert oracle.count_three_paths("u", "v") == 0
+
+    def test_chunks_sealed_counter(self):
+        a, c = fixed_relations(3)
+        oracle = WarmupThreePathOracle(a, c, chunk_size=3)
+        for index in range(10):
+            oracle.insert(2, f"x{index}", f"y{index}")
+        assert oracle.chunks_sealed == 3

@@ -1,0 +1,139 @@
+"""Tests for static cyclic joins and the incrementally maintained count view."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.oracles import PhaseThreePathOracle
+from repro.db.ivm import CyclicJoinCountView, TupleUpdate
+from repro.db.join import count_cyclic_join, count_two_hop_join, relations_to_layered_graph
+from repro.db.relation import Relation
+from repro.db.schema import RelationSchema, four_cycle_schemas
+from repro.exceptions import SchemaError
+from repro.workloads.join_workloads import (
+    figure_one_workload,
+    random_join_workload,
+    skewed_join_workload,
+)
+
+
+def build_relations(tuples_by_name):
+    schemas = four_cycle_schemas()
+    relations = []
+    for schema in schemas:
+        relations.append(Relation(schema, tuples=tuples_by_name.get(schema.name, [])))
+    return relations
+
+
+class TestStaticJoins:
+    def test_figure_one_two_hop_join(self):
+        """Figure 1: |A ⋈ B| = 6 for the worked example relations."""
+        a = Relation(RelationSchema("A", "L1", "L2"), tuples=[(1, 1), (1, 2), (1, 3), (2, 2), (3, 2)])
+        b = Relation(RelationSchema("B", "L2", "L3"), tuples=[(1, 1), (2, 1), (3, 1), (3, 3)])
+        assert count_two_hop_join(a, b) == 6
+
+    def test_two_hop_join_requires_chaining(self):
+        a = Relation(RelationSchema("A", "L1", "L2"))
+        c = Relation(RelationSchema("C", "L3", "L4"))
+        with pytest.raises(SchemaError):
+            count_two_hop_join(a, c)
+
+    def test_single_cycle_join(self):
+        relations = build_relations(
+            {"A": [(1, 2)], "B": [(2, 3)], "C": [(3, 4)], "D": [(4, 1)]}
+        )
+        assert count_cyclic_join(relations) == 1
+
+    def test_cross_product_join(self):
+        n = 3
+        full = [(i, j) for i in range(n) for j in range(n)]
+        relations = build_relations({"A": full, "B": full, "C": full, "D": full})
+        assert count_cyclic_join(relations) == n ** 4
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            count_cyclic_join(build_relations({})[:3])
+
+    def test_relations_to_layered_graph_matches_join(self):
+        rng = random.Random(4)
+        tuples = {
+            name: [(rng.randrange(5), rng.randrange(5)) for _ in range(8)] for name in "ABCD"
+        }
+        tuples = {name: list(set(pairs)) for name, pairs in tuples.items()}
+        relations = build_relations(tuples)
+        graph = relations_to_layered_graph(relations)
+        assert graph.count_layered_four_cycles() == count_cyclic_join(relations)
+
+
+class TestCyclicJoinCountView:
+    def test_single_cycle_incrementally(self):
+        view = CyclicJoinCountView()
+        view.insert("A", 1, 2)
+        view.insert("B", 2, 3)
+        view.insert("C", 3, 4)
+        assert view.count == 0
+        view.insert("D", 4, 1)
+        assert view.count == 1
+        view.delete("B", 2, 3)
+        assert view.count == 0
+
+    def test_random_workload_consistent(self):
+        view = CyclicJoinCountView()
+        for update in random_join_workload(domain_size=7, num_updates=250, seed=11):
+            view.apply(update)
+        assert view.is_consistent()
+
+    def test_skewed_workload_consistent(self):
+        view = CyclicJoinCountView()
+        for update in skewed_join_workload(domain_size=9, num_updates=250, seed=12):
+            view.apply(update)
+        assert view.is_consistent()
+
+    def test_consistent_after_every_update(self):
+        view = CyclicJoinCountView()
+        for update in random_join_workload(domain_size=5, num_updates=120, seed=13):
+            view.apply(update)
+            assert view.is_consistent()
+
+    def test_phase_oracle_backend(self):
+        view = CyclicJoinCountView(
+            oracle_factory=lambda: PhaseThreePathOracle(phase_length=10)
+        )
+        for update in random_join_workload(domain_size=6, num_updates=200, seed=14):
+            view.apply(update)
+        assert view.is_consistent()
+
+    def test_custom_schemas(self):
+        schemas = (
+            RelationSchema("Orders", "customer", "item"),
+            RelationSchema("Parts", "item", "supplier"),
+            RelationSchema("Offers", "supplier", "region"),
+            RelationSchema("Coverage", "region", "customer"),
+        )
+        view = CyclicJoinCountView(schemas=schemas)
+        view.insert("Orders", "alice", "widget")
+        view.insert("Parts", "widget", "acme")
+        view.insert("Offers", "acme", "emea")
+        view.insert("Coverage", "emea", "alice")
+        assert view.count == 1
+        assert view.relation("Orders").size == 1
+        assert view.relation_names() == ["Orders", "Parts", "Offers", "Coverage"]
+
+    def test_unknown_relation_rejected(self):
+        view = CyclicJoinCountView()
+        with pytest.raises(SchemaError):
+            view.insert("X", 1, 2)
+
+    def test_figure_one_workload_runs(self):
+        view = CyclicJoinCountView()
+        view.apply_all(figure_one_workload())
+        # Only A and B are populated, so the cyclic join is empty...
+        assert view.count == 0
+        # ... but the binary join A ⋈ B has the figure's six tuples.
+        assert count_two_hop_join(view.relation("A"), view.relation("B")) == 6
+
+    def test_tuple_update_constructors(self):
+        assert TupleUpdate.insert("A", 1, 2).is_insert
+        assert not TupleUpdate.delete("A", 1, 2).is_insert

@@ -1,0 +1,92 @@
+"""Tests for relation schemas and dynamic binary relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.relation import Relation
+from repro.db.schema import RelationSchema, four_cycle_schemas, validate_cyclic_chain
+from repro.exceptions import DuplicateTupleError, MissingTupleError, SchemaError
+
+
+class TestSchema:
+    def test_basic_schema(self):
+        schema = RelationSchema("R", "X", "Y")
+        assert schema.attributes == ("X", "Y")
+        assert str(schema) == "R(X, Y)"
+
+    def test_invalid_schemas(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", "X", "Y")
+        with pytest.raises(SchemaError):
+            RelationSchema("R", "X", "X")
+
+    def test_four_cycle_schemas_chain(self):
+        schemas = four_cycle_schemas()
+        assert [schema.name for schema in schemas] == ["A", "B", "C", "D"]
+        validate_cyclic_chain(schemas)
+
+    def test_non_chaining_schemas_rejected(self):
+        bad = (
+            RelationSchema("A", "L1", "L2"),
+            RelationSchema("B", "L3", "L4"),
+        )
+        with pytest.raises(SchemaError):
+            validate_cyclic_chain(bad)
+
+    def test_single_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_cyclic_chain([RelationSchema("A", "X", "Y")])
+
+
+class TestRelation:
+    def make(self) -> Relation:
+        return Relation(RelationSchema("A", "L1", "L2"))
+
+    def test_insert_and_contains(self):
+        relation = self.make()
+        relation.insert(1, "a")
+        assert relation.contains(1, "a")
+        assert (1, "a") in relation
+        assert not relation.contains("a", 1)
+        assert relation.size == 1 == len(relation)
+
+    def test_duplicate_insert_rejected(self):
+        relation = self.make()
+        relation.insert(1, "a")
+        with pytest.raises(DuplicateTupleError):
+            relation.insert(1, "a")
+
+    def test_missing_delete_rejected(self):
+        with pytest.raises(MissingTupleError):
+            self.make().delete(1, "a")
+
+    def test_indexes_both_sides(self):
+        relation = self.make()
+        relation.insert(1, "a")
+        relation.insert(1, "b")
+        relation.insert(2, "a")
+        assert relation.matching_left(1) == {"a", "b"}
+        assert relation.matching_right("a") == {1, 2}
+        assert relation.degree_left(1) == 2
+        assert relation.degree_right("a") == 2
+        assert relation.left_values() == {1, 2}
+        assert relation.right_values() == {"a", "b"}
+
+    def test_delete_updates_indexes(self):
+        relation = self.make()
+        relation.insert(1, "a")
+        relation.delete(1, "a")
+        assert relation.size == 0
+        assert relation.matching_left(1) == set()
+
+    def test_constructor_with_tuples_and_copy(self):
+        relation = Relation(RelationSchema("A", "X", "Y"), tuples=[(1, 2), (3, 4)])
+        clone = relation.copy()
+        clone.delete(1, 2)
+        assert relation.contains(1, 2)
+        assert not clone.contains(1, 2)
+
+    def test_tuples_iteration(self):
+        relation = Relation(RelationSchema("A", "X", "Y"), tuples=[(1, 2), (3, 4)])
+        assert set(relation.tuples()) == {(1, 2), (3, 4)}

@@ -1,0 +1,134 @@
+"""Tests for the degree-class thresholds and the hysteresis classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph.degree_classes import (
+    ChunkThresholds,
+    ClassThresholds,
+    EndpointClass,
+    HysteresisClassifier,
+    MiddleClass,
+)
+
+
+class TestClassThresholds:
+    def test_thresholds_are_increasing(self):
+        thresholds = ClassThresholds.from_edge_count(m=10_000, eps=0.0098109)
+        assert thresholds.tiny_max < thresholds.low_max
+        assert thresholds.medium_min < thresholds.medium_max
+        assert thresholds.high_min < thresholds.medium_max
+        assert thresholds.dense_min < thresholds.sparse_max
+
+    def test_overlap_factor_two(self):
+        thresholds = ClassThresholds.from_edge_count(m=10_000, eps=0.01)
+        assert thresholds.low_max == pytest.approx(2.0 * thresholds.medium_min)
+        assert thresholds.medium_max == pytest.approx(2.0 * thresholds.high_min)
+        assert thresholds.sparse_max == pytest.approx(2.0 * thresholds.dense_min)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ClassThresholds.from_edge_count(m=-1, eps=0.01)
+        with pytest.raises(ConfigurationError):
+            ClassThresholds.from_edge_count(m=10, eps=0.5)
+
+    def test_admissible_endpoint_classes_cover_all_degrees(self):
+        thresholds = ClassThresholds.from_edge_count(m=1_000_000, eps=0.0098109)
+        for degree in range(0, 2000, 17):
+            assert thresholds.admissible_endpoint_classes(degree)
+            assert thresholds.admissible_middle_classes(degree)
+
+    def test_overlap_region_has_two_classes(self):
+        thresholds = ClassThresholds.from_edge_count(m=1_000_000, eps=0.01)
+        degree_in_overlap = int(1.5 * thresholds.medium_min)
+        classes = thresholds.admissible_endpoint_classes(degree_in_overlap)
+        assert EndpointClass.LOW in classes and EndpointClass.MEDIUM in classes
+
+    def test_canonical_classes(self):
+        thresholds = ClassThresholds.from_edge_count(m=1_000_000, eps=0.01)
+        assert thresholds.canonical_endpoint_class(0) is EndpointClass.TINY
+        assert thresholds.canonical_endpoint_class(10 ** 9) is EndpointClass.HIGH
+        assert thresholds.canonical_middle_class(0) is MiddleClass.TINY
+        assert thresholds.canonical_middle_class(10 ** 9) is MiddleClass.DENSE
+
+    def test_zero_edges_allowed(self):
+        thresholds = ClassThresholds.from_edge_count(m=0, eps=0.01)
+        assert thresholds.admissible_endpoint_classes(0)
+
+
+class TestChunkThresholds:
+    def test_chunk_size_and_density(self):
+        chunk = ChunkThresholds.from_edge_count(m=10_000, eps1=0.042, eps2=0.1457)
+        assert chunk.chunk_size == pytest.approx(10_000 ** (2 / 3 - 0.042))
+        assert chunk.is_chunk_dense(int(chunk.chunk_dense_min) + 1)
+        assert not chunk.is_chunk_dense(0)
+
+    def test_negative_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChunkThresholds.from_edge_count(m=-5, eps1=0.04, eps2=0.1)
+
+
+class TestHysteresisClassifier:
+    def test_first_observation_assigns_class(self):
+        thresholds = ClassThresholds.from_edge_count(m=1_000_000, eps=0.01)
+        classifier = HysteresisClassifier(thresholds, kind="endpoint")
+        transition = classifier.observe("v", 0)
+        assert transition is not None
+        assert transition[0] is None
+
+    def test_no_transition_within_overlap(self):
+        thresholds = ClassThresholds.from_edge_count(m=1_000_000, eps=0.01)
+        classifier = HysteresisClassifier(thresholds, kind="endpoint")
+        classifier.observe("v", int(thresholds.medium_min) + 1)
+        current = classifier.current_class("v")
+        # A degree inside the overlap keeps the current class.
+        assert classifier.observe("v", int(thresholds.medium_min) - 1) is None or (
+            classifier.current_class("v") is current
+        )
+
+    def test_transition_moves_one_step(self):
+        thresholds = ClassThresholds.from_edge_count(m=1_000_000, eps=0.01)
+        classifier = HysteresisClassifier(thresholds, kind="endpoint")
+        classifier.observe("v", 0)
+        transition = classifier.observe("v", int(thresholds.low_max) + 10)
+        assert transition is not None
+        assert transition[1] in (EndpointClass.MEDIUM, EndpointClass.LOW)
+
+    def test_middle_kind(self):
+        thresholds = ClassThresholds.from_edge_count(m=1_000_000, eps=0.01)
+        classifier = HysteresisClassifier(thresholds, kind="middle")
+        classifier.observe("x", 0)
+        transition = classifier.observe("x", int(thresholds.sparse_max) + 10)
+        assert transition is not None
+        assert transition[1] is MiddleClass.DENSE
+
+    def test_invalid_kind(self):
+        thresholds = ClassThresholds.from_edge_count(m=100, eps=0.01)
+        with pytest.raises(ConfigurationError):
+            HysteresisClassifier(thresholds, kind="nope")
+
+    def test_vertices_in_class_and_sizes(self):
+        thresholds = ClassThresholds.from_edge_count(m=1_000_000, eps=0.01)
+        classifier = HysteresisClassifier(thresholds, kind="middle")
+        classifier.observe("a", 0)
+        classifier.observe("b", 10 ** 9)
+        sizes = classifier.class_sizes()
+        assert sum(sizes.values()) == 2
+        assert "b" in classifier.vertices_in_class(MiddleClass.DENSE)
+
+    def test_drop(self):
+        thresholds = ClassThresholds.from_edge_count(m=100, eps=0.01)
+        classifier = HysteresisClassifier(thresholds)
+        classifier.observe("a", 1)
+        classifier.drop("a")
+        assert classifier.current_class("a") is None
+
+    def test_set_thresholds_keeps_assignments(self):
+        thresholds = ClassThresholds.from_edge_count(m=100, eps=0.01)
+        classifier = HysteresisClassifier(thresholds)
+        classifier.observe("a", 1)
+        before = classifier.current_class("a")
+        classifier.set_thresholds(ClassThresholds.from_edge_count(m=100_000, eps=0.01))
+        assert classifier.current_class("a") is before

@@ -1,0 +1,130 @@
+"""Unit tests for the dynamic simple graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DuplicateEdgeError, MissingEdgeError, SelfLoopError, UnknownVertexError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.updates import EdgeUpdate, UpdateStream
+
+from tests.conftest import k4_edges, square_edges
+
+
+class TestStructure:
+    def test_empty_graph(self):
+        graph = DynamicGraph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_insert_creates_vertices(self):
+        graph = DynamicGraph()
+        graph.insert_edge(1, 2)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+        assert graph.has_edge(1, 2) and graph.has_edge(2, 1)
+
+    def test_add_vertex_idempotent(self):
+        graph = DynamicGraph()
+        graph.add_vertex("x")
+        graph.add_vertex("x")
+        assert graph.num_vertices == 1
+        assert graph.degree("x") == 0
+
+    def test_degree_and_neighbors(self):
+        graph = DynamicGraph(edges=square_edges())
+        assert graph.degree("a") == 2
+        assert graph.neighbors("a") == {"b", "d"}
+
+    def test_strict_degree_unknown_vertex(self):
+        graph = DynamicGraph()
+        assert graph.degree("nope") == 0
+        with pytest.raises(UnknownVertexError):
+            graph.degree("nope", strict=True)
+
+    def test_common_neighbors(self):
+        graph = DynamicGraph(edges=k4_edges())
+        assert graph.common_neighbors(0, 1) == {2, 3}
+
+    def test_edges_reported_once(self):
+        graph = DynamicGraph(edges=k4_edges())
+        assert len(list(graph.edges())) == 6
+
+
+class TestUpdates:
+    def test_self_loop_rejected(self):
+        graph = DynamicGraph()
+        with pytest.raises(SelfLoopError):
+            graph.insert_edge(1, 1)
+
+    def test_duplicate_insert_rejected(self):
+        graph = DynamicGraph(edges=[(1, 2)])
+        with pytest.raises(DuplicateEdgeError):
+            graph.insert_edge(2, 1)
+
+    def test_missing_delete_rejected(self):
+        graph = DynamicGraph()
+        with pytest.raises(MissingEdgeError):
+            graph.delete_edge(1, 2)
+
+    def test_delete_keeps_vertices(self):
+        graph = DynamicGraph(edges=[(1, 2)])
+        graph.delete_edge(1, 2)
+        assert graph.num_edges == 0
+        assert graph.has_vertex(1) and graph.has_vertex(2)
+
+    def test_apply_and_apply_all(self):
+        graph = DynamicGraph()
+        graph.apply_all(UpdateStream.from_edges(square_edges()))
+        assert graph.num_edges == 4
+        graph.apply(EdgeUpdate.delete("a", "b"))
+        assert graph.num_edges == 3
+
+
+class TestDerivedViews:
+    def test_copy_is_independent(self):
+        graph = DynamicGraph(edges=[(1, 2)])
+        clone = graph.copy()
+        clone.insert_edge(2, 3)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_degree_histogram(self):
+        graph = DynamicGraph(edges=square_edges())
+        assert graph.degree_histogram() == {2: 4}
+
+    def test_max_degree(self):
+        graph = DynamicGraph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert graph.max_degree() == 3
+        assert DynamicGraph().max_degree() == 0
+
+    def test_h_index(self):
+        star = DynamicGraph(edges=[(0, i) for i in range(1, 6)])
+        assert star.h_index() == 1
+        clique = DynamicGraph(edges=k4_edges())
+        assert clique.h_index() == 3
+
+    def test_adjacency_matrix(self):
+        graph = DynamicGraph(edges=square_edges())
+        matrix, order = graph.adjacency_matrix()
+        assert matrix.shape == (4, 4)
+        assert np.array_equal(matrix, matrix.T)
+        assert matrix.sum() == 8
+        assert order == sorted(order)
+
+    def test_adjacency_matrix_custom_order(self):
+        graph = DynamicGraph(edges=[(1, 2)])
+        matrix, order = graph.adjacency_matrix(order=[2, 1])
+        assert order == [2, 1]
+        assert matrix[0, 1] == 1
+
+    def test_to_edge_set(self):
+        graph = DynamicGraph(edges=[(2, 1)])
+        assert graph.to_edge_set() == {(1, 2)}
+
+    def test_contains_and_len(self):
+        graph = DynamicGraph(edges=[(1, 2)])
+        assert 1 in graph and 3 not in graph
+        assert len(graph) == 2

@@ -1,0 +1,83 @@
+"""Tests for the optional NetworkX interoperability helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.core.registry import create_counter
+from repro.exceptions import ConfigurationError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.interop import (
+    count_four_cycles_networkx,
+    from_networkx,
+    stream_from_networkx,
+    to_networkx,
+)
+from repro.graph.static_counts import count_four_cycles_trace
+
+
+class TestConversions:
+    def test_round_trip(self):
+        original = networkx.karate_club_graph()
+        dynamic = from_networkx(original)
+        assert dynamic.num_vertices == original.number_of_nodes()
+        assert dynamic.num_edges == original.number_of_edges()
+        back = to_networkx(dynamic)
+        assert set(back.edges()) == {tuple(sorted(edge)) for edge in original.edges()} or (
+            back.number_of_edges() == original.number_of_edges()
+        )
+
+    def test_directed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_networkx(networkx.DiGraph([(1, 2)]))
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_networkx(networkx.MultiGraph([(1, 2), (1, 2)]))
+
+    def test_self_loop_rejected(self):
+        graph = networkx.Graph()
+        graph.add_edge(1, 1)
+        with pytest.raises(ConfigurationError):
+            from_networkx(graph)
+
+    def test_stream_from_networkx(self):
+        graph = networkx.cycle_graph(4)
+        stream = stream_from_networkx(graph)
+        assert len(stream) == 4
+        counter = create_counter("wedge")
+        counter.apply_all(stream)
+        assert counter.count == 1
+
+
+class TestThirdOpinionCounts:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: networkx.cycle_graph(4), 1),
+            (lambda: networkx.complete_graph(4), 3),
+            (lambda: networkx.complete_bipartite_graph(3, 4), 3 * 6),
+            (lambda: networkx.path_graph(6), 0),
+        ],
+    )
+    def test_known_graphs(self, builder, expected):
+        graph = builder()
+        assert count_four_cycles_networkx(graph) == expected
+        assert count_four_cycles_trace(from_networkx(graph)) == expected
+
+    def test_counters_match_networkx_on_karate_club(self):
+        graph = networkx.karate_club_graph()
+        expected = count_four_cycles_networkx(graph)
+        stream = stream_from_networkx(graph)
+        for name in ("wedge", "hhh22", "assadi-shah"):
+            counter = create_counter(name)
+            counter.apply_all(stream)
+            assert counter.count == expected
+
+    def test_random_graphs_match(self):
+        for seed in range(3):
+            graph = networkx.gnp_random_graph(18, 0.25, seed=seed)
+            dynamic = from_networkx(graph)
+            assert count_four_cycles_trace(dynamic) == count_four_cycles_networkx(graph)

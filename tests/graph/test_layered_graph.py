@@ -1,0 +1,134 @@
+"""Unit tests for the 4-layered graph."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import DuplicateEdgeError, LayerError, MissingEdgeError
+from repro.graph.layered_graph import LayeredGraph
+from repro.graph.updates import LayeredEdgeUpdate
+
+
+def build_single_cycle() -> LayeredGraph:
+    """One layered 4-cycle: 1 -A- 2 -B- 3 -C- 4 -D- 1."""
+    graph = LayeredGraph()
+    graph.insert("A", "v1", "v2")
+    graph.insert("B", "v2", "v3")
+    graph.insert("C", "v3", "v4")
+    graph.insert("D", "v4", "v1")
+    return graph
+
+
+def random_layered_graph(seed: int, n: int = 6, density: float = 0.3) -> LayeredGraph:
+    rng = random.Random(seed)
+    graph = LayeredGraph()
+    for relation in ("A", "B", "C", "D"):
+        for left in range(n):
+            for right in range(n):
+                if rng.random() < density:
+                    graph.insert(relation, left, right)
+    return graph
+
+
+class TestStructure:
+    def test_empty(self):
+        graph = LayeredGraph()
+        assert graph.num_edges == 0
+        assert graph.count_layered_four_cycles() == 0
+
+    def test_insert_and_membership(self):
+        graph = LayeredGraph()
+        graph.insert("A", 1, 2)
+        assert graph.has_edge("A", 1, 2)
+        assert not graph.has_edge("A", 2, 1)
+        assert graph.relation_size("A") == 1
+        assert graph.num_edges == 1
+
+    def test_duplicate_insert_rejected(self):
+        graph = LayeredGraph()
+        graph.insert("A", 1, 2)
+        with pytest.raises(DuplicateEdgeError):
+            graph.insert("A", 1, 2)
+
+    def test_missing_delete_rejected(self):
+        with pytest.raises(MissingEdgeError):
+            LayeredGraph().delete("B", 1, 2)
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(LayerError):
+            LayeredGraph().insert("E", 1, 2)
+
+    def test_neighbors_both_sides(self):
+        graph = LayeredGraph()
+        graph.insert("B", "x", "y1")
+        graph.insert("B", "x", "y2")
+        assert graph.neighbors("B", "x", "left") == {"y1", "y2"}
+        assert graph.neighbors("B", "y1", "right") == {"x"}
+        with pytest.raises(LayerError):
+            graph.neighbors("B", "x", "middle")
+
+    def test_layer_degree_and_classification_degree(self):
+        graph = build_single_cycle()
+        # v2 in L2 touches A (as right) and B (as left).
+        assert graph.layer_degree(2, "v2") == 2
+        assert graph.classification_degree(2, "v2") == 2
+        # v1 in L1 touches A (left) and D (right) but is classified by A only.
+        assert graph.layer_degree(1, "v1") == 2
+        assert graph.classification_degree(1, "v1") == 1
+        with pytest.raises(LayerError):
+            graph.layer_degree(5, "v1")
+
+    def test_layer_vertices(self):
+        graph = build_single_cycle()
+        assert graph.layer_vertices(1) == {"v1"}
+        assert graph.layer_vertices(2) == {"v2"}
+
+    def test_apply_layered_updates(self):
+        graph = LayeredGraph()
+        graph.apply(LayeredEdgeUpdate.insert("A", 1, 2))
+        graph.apply(LayeredEdgeUpdate.delete("A", 1, 2))
+        assert graph.num_edges == 0
+
+
+class TestCounting:
+    def test_single_cycle(self):
+        graph = build_single_cycle()
+        assert graph.count_layered_four_cycles() == 1
+        assert graph.count_layered_four_cycles_matrix() == 1
+
+    def test_wedges_and_three_paths(self):
+        graph = build_single_cycle()
+        assert graph.count_wedges("A", "B", "v1", "v3") == 1
+        assert graph.count_three_paths("v1", "v4") == 1
+        assert graph.count_three_paths("v1", "missing") == 0
+
+    def test_complete_layered_graph(self):
+        graph = LayeredGraph()
+        n = 3
+        for relation in ("A", "B", "C", "D"):
+            for left in range(n):
+                for right in range(n):
+                    graph.insert(relation, left, right)
+        # Every choice of one vertex per layer forms a cycle: n^4 of them.
+        assert graph.count_layered_four_cycles() == n ** 4
+        assert graph.count_layered_four_cycles_matrix() == n ** 4
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_enumeration_matches_matrix_count(self, seed):
+        graph = random_layered_graph(seed)
+        assert graph.count_layered_four_cycles() == graph.count_layered_four_cycles_matrix()
+
+    def test_relation_matrix_shapes(self):
+        graph = build_single_cycle()
+        matrix, left_order, right_order = graph.relation_matrix("A")
+        assert matrix.shape == (len(left_order), len(right_order)) == (1, 1)
+        assert matrix[0, 0] == 1
+
+    def test_copy_independent(self):
+        graph = build_single_cycle()
+        clone = graph.copy()
+        clone.delete("A", "v1", "v2")
+        assert graph.has_edge("A", "v1", "v2")
+        assert not clone.has_edge("A", "v1", "v2")

@@ -1,0 +1,88 @@
+"""Unit tests for the static counting oracles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.static_counts import (
+    count_four_cycles_edge_list,
+    count_four_cycles_through_edge,
+    count_four_cycles_trace,
+    count_four_cycles_wedges,
+    count_three_paths,
+    count_wedges_between,
+    total_wedges,
+)
+
+from tests.conftest import complete_bipartite_edges, expected_bipartite_cycles, k4_edges, square_edges
+
+
+class TestFourCycleCounts:
+    def test_empty_graph(self):
+        assert count_four_cycles_trace(DynamicGraph()) == 0
+        assert count_four_cycles_wedges(DynamicGraph()) == 0
+
+    def test_single_square(self):
+        graph = DynamicGraph(edges=square_edges())
+        assert count_four_cycles_trace(graph) == 1
+        assert count_four_cycles_wedges(graph) == 1
+
+    def test_k4_has_three(self):
+        graph = DynamicGraph(edges=k4_edges())
+        assert count_four_cycles_trace(graph) == 3
+        assert count_four_cycles_wedges(graph) == 3
+
+    def test_triangle_has_none(self):
+        graph = DynamicGraph(edges=[(0, 1), (1, 2), (2, 0)])
+        assert count_four_cycles_trace(graph) == 0
+
+    def test_path_has_none(self):
+        graph = DynamicGraph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert count_four_cycles_trace(graph) == 0
+
+    @pytest.mark.parametrize("left,right", [(2, 2), (2, 3), (3, 3), (3, 4), (4, 5)])
+    def test_complete_bipartite_closed_form(self, left, right):
+        graph = DynamicGraph(edges=complete_bipartite_edges(left, right))
+        expected = expected_bipartite_cycles(left, right)
+        assert count_four_cycles_trace(graph) == expected
+        assert count_four_cycles_wedges(graph) == expected
+
+    def test_trace_matches_wedges_on_random_graphs(self):
+        rng = random.Random(11)
+        for _ in range(10):
+            n = rng.randint(5, 14)
+            edges = [
+                (i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < 0.4
+            ]
+            graph = DynamicGraph(vertices=range(n), edges=edges)
+            assert count_four_cycles_trace(graph) == count_four_cycles_wedges(graph)
+
+    def test_edge_list_wrapper(self):
+        assert count_four_cycles_edge_list(square_edges()) == 1
+
+
+class TestPathsAndWedges:
+    def test_three_paths_square(self):
+        graph = DynamicGraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        assert count_three_paths(graph, "a", "d") == 1
+        assert count_three_paths(graph, "a", "c") == 0
+
+    def test_three_paths_counts_cycles_through_edge(self):
+        graph = DynamicGraph(edges=k4_edges())
+        graph.delete_edge(0, 1)
+        # Re-inserting (0, 1) would close exactly two 4-cycles in K4 minus an edge.
+        assert count_four_cycles_through_edge(graph, 0, 1) == 2
+
+    def test_wedges_between(self):
+        graph = DynamicGraph(edges=k4_edges())
+        assert count_wedges_between(graph, 0, 1) == 2
+
+    def test_total_wedges_star(self):
+        star = DynamicGraph(edges=[(0, i) for i in range(1, 5)])
+        assert total_wedges(star) == 6
+
+    def test_total_wedges_square(self):
+        assert total_wedges(DynamicGraph(edges=square_edges())) == 4

@@ -1,0 +1,135 @@
+"""Unit tests for edge-update primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidUpdateError
+from repro.graph.updates import EdgeUpdate, LayeredEdgeUpdate, UpdateKind, UpdateStream
+
+
+class TestUpdateKind:
+    def test_signs(self):
+        assert UpdateKind.INSERT.sign == 1
+        assert UpdateKind.DELETE.sign == -1
+
+    def test_inverse(self):
+        assert UpdateKind.INSERT.inverse() is UpdateKind.DELETE
+        assert UpdateKind.DELETE.inverse() is UpdateKind.INSERT
+
+
+class TestEdgeUpdate:
+    def test_canonical_order(self):
+        assert EdgeUpdate(2, 1).endpoints == (1, 2)
+        assert EdgeUpdate(1, 2) == EdgeUpdate(2, 1)
+
+    def test_canonical_order_strings(self):
+        assert EdgeUpdate("b", "a").endpoints == ("a", "b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            EdgeUpdate(3, 3)
+
+    def test_insert_delete_constructors(self):
+        assert EdgeUpdate.insert(1, 2).is_insert
+        assert EdgeUpdate.delete(1, 2).is_delete
+
+    def test_inverse(self):
+        update = EdgeUpdate.insert(1, 2)
+        assert update.inverse() == EdgeUpdate.delete(1, 2)
+
+    def test_sign(self):
+        assert EdgeUpdate.insert(1, 2).sign == 1
+        assert EdgeUpdate.delete(1, 2).sign == -1
+
+    def test_touches_and_other_endpoint(self):
+        update = EdgeUpdate.insert(1, 2)
+        assert update.touches(1) and update.touches(2)
+        assert not update.touches(3)
+        assert update.other_endpoint(1) == 2
+        assert update.other_endpoint(2) == 1
+        with pytest.raises(InvalidUpdateError):
+            update.other_endpoint(3)
+
+    def test_hashable(self):
+        assert len({EdgeUpdate.insert(1, 2), EdgeUpdate.insert(2, 1)}) == 1
+
+
+class TestLayeredEdgeUpdate:
+    def test_relation_validation(self):
+        with pytest.raises(InvalidUpdateError):
+            LayeredEdgeUpdate("X", 1, 2)
+
+    def test_ordered_pair_preserved(self):
+        update = LayeredEdgeUpdate("A", 5, 3)
+        assert (update.left, update.right) == (5, 3)
+
+    def test_inverse(self):
+        update = LayeredEdgeUpdate.insert("B", 1, 2)
+        assert update.inverse() == LayeredEdgeUpdate.delete("B", 1, 2)
+
+    def test_sign(self):
+        assert LayeredEdgeUpdate.insert("C", 1, 2).sign == 1
+        assert LayeredEdgeUpdate.delete("C", 1, 2).sign == -1
+
+
+class TestUpdateStream:
+    def test_from_edges(self):
+        stream = UpdateStream.from_edges([(1, 2), (2, 3)])
+        assert len(stream) == 2
+        assert all(update.is_insert for update in stream)
+
+    def test_build_then_teardown(self):
+        stream = UpdateStream.build_then_teardown([(1, 2), (2, 3)])
+        assert len(stream) == 4
+        assert stream.final_edges() == set()
+
+    def test_validate_rejects_duplicate_insert(self):
+        stream = UpdateStream([EdgeUpdate.insert(1, 2), EdgeUpdate.insert(2, 1)])
+        assert not stream.validate()
+
+    def test_validate_rejects_missing_delete(self):
+        stream = UpdateStream([EdgeUpdate.delete(1, 2)])
+        assert not stream.validate()
+
+    def test_final_edges(self):
+        stream = UpdateStream(
+            [EdgeUpdate.insert(1, 2), EdgeUpdate.insert(2, 3), EdgeUpdate.delete(1, 2)]
+        )
+        assert stream.final_edges() == {(2, 3)}
+
+    def test_final_edges_with_initial(self):
+        stream = UpdateStream([EdgeUpdate.delete(1, 2)])
+        assert stream.final_edges(initial_edges=[(1, 2)]) == set()
+
+    def test_max_live_edges(self):
+        stream = UpdateStream(
+            [EdgeUpdate.insert(1, 2), EdgeUpdate.insert(2, 3), EdgeUpdate.delete(1, 2)]
+        )
+        assert stream.max_live_edges() == 2
+
+    def test_slicing_and_prefix(self):
+        stream = UpdateStream.from_edges([(1, 2), (2, 3), (3, 4)])
+        assert isinstance(stream[0:2], UpdateStream)
+        assert len(stream.prefix(2)) == 2
+
+    def test_insertions_deletions_only(self):
+        stream = UpdateStream.build_then_teardown([(1, 2), (2, 3)])
+        assert stream.num_insertions() == 2
+        assert stream.num_deletions() == 2
+        assert len(stream.insertions_only()) == 2
+        assert len(stream.deletions_only()) == 2
+
+    def test_vertices(self):
+        stream = UpdateStream.from_edges([(1, 2), (3, 4)])
+        assert stream.vertices() == {1, 2, 3, 4}
+
+    def test_append_type_checked(self):
+        stream = UpdateStream()
+        with pytest.raises(InvalidUpdateError):
+            stream.append("not an update")  # type: ignore[arg-type]
+
+    def test_extend(self):
+        stream = UpdateStream()
+        stream.extend([EdgeUpdate.insert(1, 2), EdgeUpdate.insert(2, 3)])
+        assert len(stream) == 2

@@ -1,0 +1,67 @@
+"""Tests for the operation-count cost model."""
+
+from __future__ import annotations
+
+from repro.instrumentation.cost_model import STANDARD_CATEGORIES, CostModel
+
+
+class TestCostModel:
+    def test_charge_and_total(self):
+        cost = CostModel()
+        cost.charge("adjacency_probe")
+        cost.charge("adjacency_probe", 4)
+        cost.charge("matmul_ops", 10)
+        assert cost.get("adjacency_probe") == 5
+        assert cost.total() == 15
+
+    def test_charge_zero_is_noop(self):
+        cost = CostModel()
+        cost.charge("x", 0)
+        assert cost.total() == 0
+        assert cost.as_dict() == {}
+
+    def test_reset(self):
+        cost = CostModel()
+        cost.charge("x", 3)
+        cost.reset()
+        assert cost.total() == 0
+
+    def test_merge(self):
+        first = CostModel()
+        second = CostModel()
+        first.charge("a", 1)
+        second.charge("a", 2)
+        second.charge("b", 3)
+        first.merge(second)
+        assert first.get("a") == 3
+        assert first.get("b") == 3
+
+    def test_standard_categories_exposed(self):
+        assert "matmul_ops" in STANDARD_CATEGORIES
+        assert "neighborhood_scan" in STANDARD_CATEGORIES
+
+
+class TestSnapshots:
+    def test_snapshot_is_frozen_copy(self):
+        cost = CostModel()
+        cost.charge("a", 1)
+        snapshot = cost.snapshot()
+        cost.charge("a", 5)
+        assert snapshot.get("a") == 1
+        assert snapshot.total == 1
+
+    def test_diff(self):
+        cost = CostModel()
+        cost.charge("a", 2)
+        before = cost.snapshot()
+        cost.charge("a", 3)
+        cost.charge("b", 1)
+        delta = cost.snapshot().diff(before)
+        assert delta.get("a") == 3
+        assert delta.get("b") == 1
+        assert delta.total == 4
+
+    def test_snapshot_iteration(self):
+        cost = CostModel()
+        cost.charge("a", 2)
+        assert dict(cost.snapshot()) == {"a": 2}

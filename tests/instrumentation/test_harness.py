@@ -1,0 +1,94 @@
+"""Tests for the experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import create_counter
+from repro.exceptions import CounterStateError
+from repro.instrumentation.harness import (
+    compare_counters,
+    format_table,
+    run_counter,
+    run_validated,
+    summary_table,
+)
+from repro.graph.updates import UpdateStream
+
+from tests.conftest import k4_edges, random_dynamic_stream
+
+
+class TestRunCounter:
+    def test_run_records_metrics_and_counts(self):
+        stream = UpdateStream.from_edges(k4_edges())
+        result = run_counter(create_counter("wedge"), stream)
+        assert result.final_count == 3
+        assert result.stream_length == 6
+        assert len(result.counts) == 6
+        assert result.metrics is not None and len(result.metrics) == 6
+        assert result.summary().updates == 6
+
+    def test_run_without_counts(self):
+        stream = UpdateStream.from_edges(k4_edges())
+        result = run_counter(create_counter("wedge"), stream, record_counts=False)
+        assert result.counts == []
+
+
+class TestRunValidated:
+    def test_passes_for_correct_counter(self, small_stream):
+        result = run_validated(create_counter("hhh22"), small_stream)
+        assert result.validated
+
+    def test_detects_divergence(self):
+        class BrokenCounter:
+            name = "broken"
+
+            def __init__(self):
+                self.inner = create_counter("wedge")
+                self.cost = self.inner.cost
+
+            def apply(self, update):
+                value = self.inner.apply(update)
+                return value + 1  # always wrong
+
+            @property
+            def num_edges(self):
+                return self.inner.num_edges
+
+            @property
+            def count(self):
+                return self.inner.count + 1
+
+        stream = UpdateStream.from_edges(k4_edges())
+        with pytest.raises(CounterStateError):
+            run_validated(BrokenCounter(), stream)
+
+    def test_check_every_validation(self, small_stream):
+        result = run_validated(create_counter("wedge"), small_stream, check_every=5)
+        assert result.validated
+        with pytest.raises(ValueError):
+            run_validated(create_counter("wedge"), small_stream, check_every=0)
+
+
+class TestCompareCounters:
+    def test_all_counters_agree(self):
+        stream = random_dynamic_stream(num_vertices=10, num_updates=60, seed=77)
+        results = compare_counters(["brute-force", "wedge", "hhh22"], stream)
+        finals = {result.final_count for result in results.values()}
+        assert len(finals) == 1
+
+    def test_counter_kwargs(self):
+        stream = random_dynamic_stream(num_vertices=8, num_updates=40, seed=78)
+        results = compare_counters(
+            ["phase-fmm"], stream, counter_kwargs={"phase-fmm": {"phase_length": 5}}
+        )
+        assert results["phase-fmm"].final_count >= 0
+
+    def test_tables(self):
+        stream = random_dynamic_stream(num_vertices=8, num_updates=40, seed=79)
+        results = compare_counters(["brute-force", "wedge"], stream)
+        rows = summary_table(results)
+        assert len(rows) == 2
+        rendered = format_table(rows)
+        assert "brute-force" in rendered and "wedge" in rendered
+        assert format_table([]) == "(no rows)"

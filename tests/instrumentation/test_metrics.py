@@ -1,0 +1,98 @@
+"""Tests for per-update metrics and summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrumentation.metrics import (
+    UpdateMetrics,
+    UpdateRecord,
+    fit_power_law,
+    percentile,
+)
+
+
+def make_record(index: int, operations: int, edge_count: int = 10) -> UpdateRecord:
+    return UpdateRecord(
+        index=index,
+        operations=operations,
+        seconds=operations * 0.001,
+        edge_count=edge_count,
+        is_insert=True,
+    )
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7], 0.99) == 7.0
+
+    def test_median_and_extremes(self):
+        values = [1, 2, 3, 4, 5]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestUpdateMetrics:
+    def test_summary(self):
+        metrics = UpdateMetrics()
+        for index, operations in enumerate([1, 2, 3, 4, 100]):
+            metrics.record(make_record(index, operations, edge_count=index + 1))
+        summary = metrics.summary()
+        assert summary.updates == 5
+        assert summary.total_operations == 110
+        assert summary.max_operations == 100
+        assert summary.median_operations == 3
+        assert summary.final_edge_count == 5
+        assert summary.mean_operations == pytest.approx(22.0)
+        assert summary.as_dict()["p99_operations"] >= summary.median_operations
+
+    def test_worst_case_vs_amortized(self):
+        metrics = UpdateMetrics()
+        for index in range(10):
+            metrics.record(make_record(index, 1000 if index == 5 else 1))
+        assert metrics.worst_case_operations() == 1000
+        assert metrics.amortized_operations() == pytest.approx((9 + 1000) / 10)
+
+    def test_empty_metrics(self):
+        metrics = UpdateMetrics()
+        assert metrics.worst_case_operations() == 0
+        assert metrics.amortized_operations() == 0.0
+        assert metrics.summary().updates == 0
+
+    def test_bucketed_by_edge_count(self):
+        metrics = UpdateMetrics()
+        for index in range(20):
+            metrics.record(make_record(index, operations=index, edge_count=index))
+        buckets = metrics.bucketed_by_edge_count(bucket_width=10)
+        assert set(buckets) == {0, 1}
+        assert buckets[0] == pytest.approx(4.5)
+        with pytest.raises(ValueError):
+            metrics.bucketed_by_edge_count(0)
+
+
+class TestPowerLawFit:
+    def test_recovers_exponent(self):
+        edge_counts = [10, 100, 1000, 10_000]
+        costs = [m ** 0.66 for m in edge_counts]
+        assert fit_power_law(edge_counts, costs) == pytest.approx(0.66, abs=1e-9)
+
+    def test_linear_growth(self):
+        edge_counts = [10, 100, 1000]
+        costs = [5.0 * m for m in edge_counts]
+        assert fit_power_law(edge_counts, costs) == pytest.approx(1.0, abs=1e-9)
+
+    def test_insufficient_points(self):
+        assert fit_power_law([10], [3.0]) is None
+        assert fit_power_law([], []) is None
+        assert fit_power_law([10, 10], [1.0, 2.0]) is None

@@ -1,0 +1,112 @@
+"""Tests for stream/metrics persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph.reduction import expand_general_update
+from repro.graph.updates import EdgeUpdate, UpdateStream
+from repro.instrumentation.harness import run_counter
+from repro.core.registry import create_counter
+from repro.io import (
+    edge_update_from_dict,
+    edge_update_to_dict,
+    layered_update_from_dict,
+    layered_update_to_dict,
+    load_layered_updates,
+    load_metrics_csv,
+    load_stream,
+    load_summary_json,
+    save_layered_updates,
+    save_metrics_csv,
+    save_stream,
+    save_summary_json,
+)
+from repro.workloads.generators import erdos_renyi_stream
+
+
+class TestUpdateDicts:
+    def test_edge_update_round_trip(self):
+        update = EdgeUpdate.delete("a", "b")
+        assert edge_update_from_dict(edge_update_to_dict(update)) == update
+
+    def test_layered_update_round_trip(self):
+        updates = expand_general_update(EdgeUpdate.insert(1, 2))
+        for update in updates:
+            assert layered_update_from_dict(layered_update_to_dict(update)) == update
+
+    def test_malformed_payloads(self):
+        with pytest.raises(ConfigurationError):
+            edge_update_from_dict({"u": 1, "v": 2, "kind": "replace"})
+        with pytest.raises(ConfigurationError):
+            layered_update_from_dict({"relation": "A", "left": 1})
+
+
+class TestStreamFiles:
+    def test_stream_round_trip(self, tmp_path):
+        stream = erdos_renyi_stream(12, 80, seed=1)
+        path = tmp_path / "stream.jsonl"
+        save_stream(stream, path)
+        loaded = load_stream(path)
+        assert loaded == stream
+
+    def test_layered_round_trip(self, tmp_path):
+        updates = expand_general_update(EdgeUpdate.insert("x", "y"))
+        path = tmp_path / "layered.jsonl"
+        save_layered_updates(updates, path)
+        assert load_layered_updates(path) == updates
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_stream(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text(
+            json.dumps(edge_update_to_dict(EdgeUpdate.insert(1, 2))) + "\n\n", encoding="utf-8"
+        )
+        assert len(load_stream(path)) == 1
+
+    def test_replaying_saved_stream_gives_same_count(self, tmp_path):
+        stream = erdos_renyi_stream(14, 100, seed=2)
+        path = tmp_path / "stream.jsonl"
+        save_stream(stream, path)
+        first = create_counter("wedge")
+        second = create_counter("wedge")
+        first.apply_all(stream)
+        second.apply_all(load_stream(path))
+        assert first.count == second.count
+
+
+class TestMetricsFiles:
+    def test_metrics_round_trip(self, tmp_path):
+        stream = UpdateStream.from_edges([(1, 2), (2, 3), (3, 4), (4, 1)])
+        result = run_counter(create_counter("hhh22"), stream)
+        path = tmp_path / "metrics.csv"
+        save_metrics_csv(result.metrics, path)
+        loaded = load_metrics_csv(path)
+        assert len(loaded) == len(result.metrics)
+        assert loaded.summary().total_operations == result.metrics.summary().total_operations
+
+    def test_metrics_header_validation(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_metrics_csv(path)
+
+    def test_summary_json_round_trip(self, tmp_path):
+        rows = [{"counter": "wedge", "final_count": 3}]
+        path = tmp_path / "summary.json"
+        save_summary_json(rows, path)
+        assert load_summary_json(path) == rows
+
+    def test_summary_json_must_be_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_summary_json(path)

@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_constants_command(self, capsys):
+        assert main(["constants"]) == 0
+        output = capsys.readouterr().out
+        assert "eps" in output
+        assert "Appendix B constraints: satisfied" in output
+        assert "0.65686" in output or "0.656856" in output
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--vertices", "12", "--updates", "60", "--counters", "wedge,hhh22"]) == 0
+        output = capsys.readouterr().out
+        assert "wedge" in output and "hhh22" in output
+        assert "final_count" in output
+
+    def test_compare_all_counters_small(self, capsys):
+        assert main(["compare", "--vertices", "10", "--updates", "40", "--workload", "hubs"]) == 0
+        output = capsys.readouterr().out
+        assert "assadi-shah" in output
+
+    def test_omega_sweep_command(self, capsys):
+        assert main(["omega-sweep", "--step", "0.25"]) == 0
+        output = capsys.readouterr().out
+        assert "omega" in output
+        assert "yes" in output and "no" in output
+
+    def test_parser_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])

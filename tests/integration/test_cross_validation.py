@@ -1,0 +1,76 @@
+"""Integration tests: whole-pipeline cross-validation (experiment E4 in miniature).
+
+These exercise the full stack — workload generators, the harness, every
+registered counter, the layered counter, and the IVM view — on the same data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assadi_shah import AssadiShahThreePathOracle
+from repro.core.layered import LayeredFourCycleCounter
+from repro.core.registry import available_counters
+from repro.db.ivm import CyclicJoinCountView
+from repro.graph.reduction import expand_general_update
+from repro.instrumentation.harness import compare_counters, run_validated, summary_table
+from repro.workloads.generators import stream_catalogue
+from repro.workloads.join_workloads import random_join_workload
+
+from tests.conftest import random_dynamic_stream
+
+
+class TestAllCountersOnCatalogue:
+    @pytest.mark.parametrize("workload_name", ["erdos-renyi", "power-law", "hubs"])
+    def test_counters_agree_on_workload(self, workload_name):
+        stream = stream_catalogue(scale=1, seed=3)[workload_name].prefix(120)
+        results = compare_counters(sorted(available_counters()), stream)
+        rows = summary_table(results)
+        assert len(rows) == len(available_counters())
+        finals = {result.final_count for result in results.values()}
+        assert len(finals) == 1
+
+    def test_validated_against_brute_force_on_churn(self):
+        stream = stream_catalogue(scale=1, seed=5)["churn"].prefix(120)
+        for name in sorted(available_counters()):
+            if name == "brute-force":
+                continue
+            from repro.core.registry import create_counter
+
+            assert run_validated(create_counter(name), stream).validated
+
+
+class TestGeneralVersusLayeredPipeline:
+    def test_layered_counter_tracks_closed_walks_of_reduction(self):
+        """Driving the layered counter through the Section 8 reduction keeps
+        its count equal to the general graph's closed-4-walk count, while the
+        general counter keeps the exact 4-cycle count — the two views the
+        paper's equivalence connects."""
+        from repro.core.registry import create_counter
+        from repro.graph.dynamic_graph import DynamicGraph
+        from repro.graph.static_counts import count_closed_four_walks, count_four_cycles_trace
+
+        stream = random_dynamic_stream(num_vertices=9, num_updates=80, seed=55)
+        general = create_counter("phase-fmm", phase_length=10)
+        layered = LayeredFourCycleCounter(
+            oracle_factory=lambda: AssadiShahThreePathOracle(phase_length=10)
+        )
+        mirror = DynamicGraph()
+        for update in stream:
+            general.apply(update)
+            mirror.apply(update)
+            for layered_update in expand_general_update(update):
+                layered.apply(layered_update)
+            assert general.count == count_four_cycles_trace(mirror)
+            assert layered.count == count_closed_four_walks(mirror)
+
+
+class TestDatabasePipeline:
+    def test_ivm_view_matches_recomputation_on_random_workload(self):
+        view = CyclicJoinCountView()
+        workload = random_join_workload(domain_size=7, num_updates=220, seed=21)
+        for index, update in enumerate(workload):
+            view.apply(update)
+            if index % 20 == 0:
+                assert view.is_consistent()
+        assert view.is_consistent()

@@ -1,0 +1,45 @@
+"""Smoke tests that the example scripts run end to end.
+
+The examples are user-facing documentation; they must keep working.  Each is
+executed in-process (importing its module functions where possible would skip
+the ``__main__`` plumbing, so we run the files with ``runpy``) with a guard on
+runtime via reduced recursion into the heavy paths — the scripts themselves are
+sized to finish in seconds.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLE_SCRIPTS = [
+    "quickstart.py",
+    "database_join_view.py",
+    "social_network_motifs.py",
+    "paper_constants.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example script {script}"
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_examples_directory_has_quickstart():
+    assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+def test_examples_import_only_public_api():
+    """Examples should only use the public package surface (no underscore
+    attribute access), keeping them honest as documentation."""
+    for script in EXAMPLE_SCRIPTS:
+        source = (EXAMPLES_DIR / script).read_text()
+        assert "._" not in source, f"{script} reaches into private attributes"

@@ -1,0 +1,124 @@
+"""Unit tests for the sparse CountMatrix representation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matmul.engine import CountMatrix
+
+
+class TestPointAccess:
+    def test_default_zero(self):
+        matrix = CountMatrix()
+        assert matrix.get("a", "b") == 0
+        assert matrix.nnz == 0
+        assert not matrix
+
+    def test_add_and_get(self):
+        matrix = CountMatrix()
+        matrix.add("a", "b", 2)
+        matrix.add("a", "b", 3)
+        assert matrix.get("a", "b") == 5
+        assert matrix.nnz == 1
+
+    def test_cancellation_removes_entry(self):
+        matrix = CountMatrix()
+        matrix.add(1, 2, 4)
+        matrix.add(1, 2, -4)
+        assert matrix.nnz == 0
+        assert matrix.get(1, 2) == 0
+        assert list(matrix.items()) == []
+
+    def test_add_zero_is_noop(self):
+        matrix = CountMatrix()
+        matrix.add(1, 2, 0)
+        assert matrix.nnz == 0
+
+    def test_set(self):
+        matrix = CountMatrix()
+        matrix.set(1, 2, 7)
+        matrix.set(1, 2, 3)
+        assert matrix.get(1, 2) == 3
+        matrix.set(1, 2, 0)
+        assert matrix.nnz == 0
+
+    def test_negative_values_allowed(self):
+        matrix = CountMatrix()
+        matrix.add("x", "y", -2)
+        assert matrix.get("x", "y") == -2
+        assert matrix.nnz == 1
+
+    def test_constructor_from_entries(self):
+        matrix = CountMatrix({(1, 2): 3, (2, 3): -1})
+        assert matrix.get(1, 2) == 3
+        assert matrix.get(2, 3) == -1
+
+
+class TestBulkAccess:
+    def test_rows_and_labels(self):
+        matrix = CountMatrix({(1, "a"): 1, (1, "b"): 2, (2, "a"): 3})
+        assert matrix.row_labels() == {1, 2}
+        assert matrix.column_labels() == {"a", "b"}
+        assert dict(matrix.row(1)) == {"a": 1, "b": 2}
+        assert dict(matrix.row(99)) == {}
+
+    def test_items_iteration(self):
+        matrix = CountMatrix({(1, 2): 5})
+        assert list(matrix.items()) == [(1, 2, 5)]
+
+    def test_equality(self):
+        assert CountMatrix({(1, 2): 3}) == CountMatrix({(1, 2): 3})
+        assert CountMatrix({(1, 2): 3}) != CountMatrix({(1, 2): 4})
+
+
+class TestLinearAlgebra:
+    def test_copy_independent(self):
+        matrix = CountMatrix({(1, 2): 3})
+        clone = matrix.copy()
+        clone.add(1, 2, 1)
+        assert matrix.get(1, 2) == 3
+
+    def test_add_matrix_with_scale(self):
+        left = CountMatrix({(1, 2): 3})
+        right = CountMatrix({(1, 2): 1, (2, 3): 2})
+        left.add_matrix(right, scale=-1)
+        assert left.get(1, 2) == 2
+        assert left.get(2, 3) == -2
+
+    def test_add_matrix_cancels(self):
+        """The warm-up algorithm's negative-edge trick: a chunk containing the
+        deletion of an edge inserted in an earlier chunk cancels exactly."""
+        earlier = CountMatrix({("x", "y"): 1})
+        later = CountMatrix({("x", "y"): -1})
+        earlier.add_matrix(later)
+        assert earlier.nnz == 0
+
+    def test_transpose(self):
+        matrix = CountMatrix({(1, 2): 3})
+        assert matrix.transpose().get(2, 1) == 3
+
+    def test_dense_round_trip(self):
+        matrix = CountMatrix({("r1", "c1"): 2, ("r2", "c2"): -1})
+        rows = ["r1", "r2"]
+        columns = ["c1", "c2"]
+        dense = matrix.to_dense(rows, columns)
+        assert dense.shape == (2, 2)
+        assert dense[0, 0] == 2 and dense[1, 1] == -1
+        back = CountMatrix.from_dense(dense, rows, columns)
+        assert back == matrix
+
+    def test_to_dense_ignores_unknown_labels(self):
+        matrix = CountMatrix({("r1", "c1"): 2, ("other", "c1"): 5})
+        dense = matrix.to_dense(["r1"], ["c1"])
+        assert dense.tolist() == [[2]]
+
+    def test_from_pairs(self):
+        matrix = CountMatrix.from_pairs([(1, 2), (3, 4)])
+        assert matrix.get(1, 2) == 1 and matrix.get(3, 4) == 1
+
+    def test_from_dense_numpy_ints(self):
+        dense = np.array([[0, 1], [2, 0]])
+        matrix = CountMatrix.from_dense(dense, ["a", "b"], ["x", "y"])
+        assert matrix.get("a", "y") == 1
+        assert matrix.get("b", "x") == 2
+        assert matrix.nnz == 2

@@ -1,0 +1,82 @@
+"""Tests for class-restricted (rectangular) products."""
+
+from __future__ import annotations
+
+from repro.matmul.engine import CountMatrix, MatmulEngine
+from repro.matmul.rectangular import (
+    rectangular_multiply,
+    restrict,
+    restrict_by_predicate,
+)
+
+
+def sample_matrix() -> CountMatrix:
+    return CountMatrix(
+        {
+            ("h1", "x"): 1,
+            ("h1", "y"): 2,
+            ("l1", "x"): 3,
+            ("l2", "z"): 4,
+        }
+    )
+
+
+class TestRestrict:
+    def test_restrict_rows(self):
+        restricted = restrict(sample_matrix(), rows={"h1"})
+        assert restricted.row_labels() == {"h1"}
+        assert restricted.get("h1", "y") == 2
+        assert restricted.get("l1", "x") == 0
+
+    def test_restrict_columns(self):
+        restricted = restrict(sample_matrix(), columns={"x"})
+        assert restricted.column_labels() == {"x"}
+        assert restricted.nnz == 2
+
+    def test_restrict_none_keeps_everything(self):
+        assert restrict(sample_matrix()) == sample_matrix()
+
+    def test_restrict_by_predicate(self):
+        restricted = restrict_by_predicate(
+            sample_matrix(), row_predicate=lambda label: str(label).startswith("h")
+        )
+        assert restricted.row_labels() == {"h1"}
+
+
+class TestRectangularMultiply:
+    def test_basic_product_and_dimensions(self):
+        engine = MatmulEngine()
+        left = CountMatrix({("u1", "m1"): 1, ("u2", "m2"): 1})
+        right = CountMatrix({("m1", "v1"): 1, ("m2", "v2"): 1})
+        report = rectangular_multiply(engine, left, right)
+        assert report.product.get("u1", "v1") == 1
+        assert report.product.get("u2", "v2") == 1
+        assert report.left_rows == 2
+        assert report.inner_dimension == 2
+        assert report.right_columns == 2
+        assert report.naive_cost == 8
+
+    def test_row_restriction_mimics_class_submatrix(self):
+        """The A^{H*} · B pattern: only high-class rows participate."""
+        engine = MatmulEngine()
+        a = CountMatrix({("high", "m"): 1, ("low", "m"): 1})
+        b = CountMatrix({("m", "t"): 1})
+        report = rectangular_multiply(engine, a, b, left_rows={"high"})
+        assert report.product.get("high", "t") == 1
+        assert report.product.get("low", "t") == 0
+        assert report.left_rows == 1
+
+    def test_inner_restriction(self):
+        """The A^{*S} · B^{S*} pattern: only sparse middle vertices participate."""
+        engine = MatmulEngine()
+        a = CountMatrix({("u", "sparse"): 1, ("u", "dense"): 1})
+        b = CountMatrix({("sparse", "v"): 1, ("dense", "v"): 1})
+        report = rectangular_multiply(engine, a, b, inner={"sparse"})
+        assert report.product.get("u", "v") == 1
+        assert report.inner_dimension == 1
+
+    def test_empty_restriction(self):
+        engine = MatmulEngine()
+        report = rectangular_multiply(engine, sample_matrix(), sample_matrix(), inner=set())
+        assert report.product.nnz == 0
+        assert report.naive_cost == 0

@@ -1,0 +1,166 @@
+"""Tests for the incremental products and the phase work scheduler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError, CounterStateError
+from repro.matmul.engine import CountMatrix, SparseBackend
+from repro.matmul.scheduler import ChainProductJob, IncrementalMatrixProduct, PhaseScheduler
+
+
+def random_matrix(rng: random.Random, rows: int, columns: int, density: float = 0.5) -> CountMatrix:
+    matrix = CountMatrix()
+    for i in range(rows):
+        for j in range(columns):
+            if rng.random() < density:
+                matrix.add(f"r{i}", f"m{j}", 1)
+    return matrix
+
+
+class TestIncrementalMatrixProduct:
+    def test_partial_then_complete(self):
+        rng = random.Random(0)
+        left = random_matrix(rng, 10, 8)
+        right = CountMatrix()
+        for j in range(8):
+            for k in range(6):
+                if rng.random() < 0.5:
+                    right.add(f"m{j}", f"c{k}", 1)
+        job = IncrementalMatrixProduct(left, right)
+        assert not job.is_complete
+        job.advance(5)
+        assert job.remaining_rows() < 10 or job.operations_done > 0
+        job.run_to_completion()
+        assert job.is_complete
+        expected, _ = SparseBackend().multiply(left, right)
+        assert job.result == expected
+
+    def test_advance_respects_budget_roughly(self):
+        rng = random.Random(1)
+        left = random_matrix(rng, 20, 10)
+        right = random_matrix(rng, 10, 10)
+        # Row labels of right must match columns of left.
+        right = CountMatrix()
+        for j in range(10):
+            for k in range(10):
+                if rng.random() < 0.5:
+                    right.add(f"m{j}", f"c{k}", 1)
+        job = IncrementalMatrixProduct(left, right)
+        done = job.advance(3)
+        # A single row is atomic, so the overshoot is bounded by one full row's
+        # work (up to 10 middles, each with up to 10 right-hand entries).
+        assert done <= 3 + 10 * 10
+
+    def test_negative_budget_rejected(self):
+        job = IncrementalMatrixProduct(CountMatrix(), CountMatrix())
+        with pytest.raises(ConfigurationError):
+            job.advance(-1)
+
+    def test_empty_product(self):
+        job = IncrementalMatrixProduct(CountMatrix(), CountMatrix())
+        assert job.is_complete
+        assert job.result.nnz == 0
+
+
+class TestChainProductJob:
+    def test_triple_chain_matches_direct_product(self):
+        rng = random.Random(2)
+        a = random_matrix(rng, 6, 5)
+        b = CountMatrix()
+        for j in range(5):
+            for k in range(7):
+                if rng.random() < 0.5:
+                    b.add(f"m{j}", f"y{k}", 1)
+        c = CountMatrix()
+        for k in range(7):
+            for l in range(4):
+                if rng.random() < 0.5:
+                    c.add(f"y{k}", f"v{l}", 1)
+        job = ChainProductJob([a, b, c], name="abc")
+        job.run_to_completion()
+        backend = SparseBackend()
+        expected, _ = backend.multiply(a, b)
+        expected, _ = backend.multiply(expected, c)
+        assert job.result == expected
+
+    def test_result_before_completion_raises(self):
+        a = CountMatrix({(1, 2): 1})
+        b = CountMatrix({(2, 3): 1})
+        job = ChainProductJob([a, b])
+        with pytest.raises(CounterStateError):
+            _ = job.result
+
+    def test_single_matrix_chain(self):
+        matrix = CountMatrix({(1, 2): 5})
+        job = ChainProductJob([matrix])
+        assert job.is_complete
+        assert job.result == matrix
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChainProductJob([])
+
+    def test_incremental_advance_eventually_completes(self):
+        rng = random.Random(3)
+        a = random_matrix(rng, 8, 8)
+        b = CountMatrix()
+        for j in range(8):
+            for k in range(8):
+                if rng.random() < 0.5:
+                    b.add(f"m{j}", f"z{k}", 1)
+        job = ChainProductJob([a, b])
+        steps = 0
+        while not job.is_complete and steps < 10_000:
+            job.advance(2)
+            steps += 1
+        assert job.is_complete
+
+
+class TestPhaseScheduler:
+    def test_work_spreads_over_updates(self):
+        rng = random.Random(4)
+        a = random_matrix(rng, 10, 10)
+        b = CountMatrix()
+        for j in range(10):
+            for k in range(10):
+                if rng.random() < 0.5:
+                    b.add(f"m{j}", f"w{k}", 1)
+        scheduler = PhaseScheduler(budget_per_update=4)
+        job = ChainProductJob([a, b])
+        scheduler.submit(job)
+        updates = 0
+        while not scheduler.all_complete() and updates < 10_000:
+            scheduler.work()
+            updates += 1
+        assert scheduler.all_complete()
+        assert scheduler.updates_seen == updates
+        assert scheduler.total_operations == job.operations_done
+
+    def test_finish_all(self):
+        scheduler = PhaseScheduler(budget_per_update=1)
+        job = ChainProductJob([CountMatrix({(1, 2): 1}), CountMatrix({(2, 3): 1})])
+        scheduler.submit(job)
+        scheduler.finish_all()
+        assert scheduler.all_complete()
+        assert job.result.get(1, 3) == 1
+
+    def test_clear(self):
+        scheduler = PhaseScheduler()
+        scheduler.submit(ChainProductJob([CountMatrix({(1, 2): 1}), CountMatrix()]))
+        scheduler.clear()
+        assert scheduler.all_complete()
+        assert list(scheduler.jobs()) == []
+
+    def test_negative_budget_rejected(self):
+        scheduler = PhaseScheduler()
+        with pytest.raises(ConfigurationError):
+            scheduler.work(budget=-5)
+
+    def test_pending_jobs(self):
+        scheduler = PhaseScheduler(budget_per_update=0)
+        job = ChainProductJob([CountMatrix({(1, 2): 1}), CountMatrix({(2, 3): 1})])
+        scheduler.submit(job)
+        assert scheduler.pending_jobs() == [job]

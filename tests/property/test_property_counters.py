@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the dynamic counters.
+
+The central invariant: after replaying *any* consistent update stream, every
+counter reports exactly the number of 4-cycles of the resulting graph, and the
+count after every prefix matches the brute-force reference.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import available_counters, create_counter
+from repro.graph.static_counts import count_four_cycles_trace, count_four_cycles_wedges
+from repro.graph.updates import EdgeUpdate, UpdateStream
+
+COUNTER_NAMES = sorted(available_counters())
+FAST_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def consistent_streams(draw, max_vertices: int = 8, max_updates: int = 60) -> UpdateStream:
+    """Generate a consistent fully dynamic update stream.
+
+    At every step, choose to insert a random absent edge or delete a random
+    present one; the result is always a valid stream.
+    """
+    num_vertices = draw(st.integers(min_value=4, max_value=max_vertices))
+    length = draw(st.integers(min_value=0, max_value=max_updates))
+    live: list[tuple[int, int]] = []
+    live_set: set[tuple[int, int]] = set()
+    updates: list[EdgeUpdate] = []
+    for _ in range(length):
+        delete = live and draw(st.booleans())
+        if delete:
+            index = draw(st.integers(min_value=0, max_value=len(live) - 1))
+            edge = live.pop(index)
+            live_set.discard(edge)
+            updates.append(EdgeUpdate.delete(*edge))
+        else:
+            u = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+            v = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in live_set:
+                continue
+            live.append(key)
+            live_set.add(key)
+            updates.append(EdgeUpdate.insert(*key))
+    return UpdateStream(updates)
+
+
+@given(stream=consistent_streams())
+@FAST_SETTINGS
+def test_static_oracles_agree(stream):
+    """The two static counting formulas agree on arbitrary graphs."""
+    from repro.graph.dynamic_graph import DynamicGraph
+
+    graph = DynamicGraph()
+    graph.apply_all(stream)
+    assert count_four_cycles_trace(graph) == count_four_cycles_wedges(graph)
+
+
+@given(stream=consistent_streams())
+@FAST_SETTINGS
+def test_wedge_counter_matches_static(stream):
+    counter = create_counter("wedge")
+    counter.apply_all(stream)
+    assert counter.count == count_four_cycles_trace(counter.graph)
+
+
+@given(stream=consistent_streams())
+@FAST_SETTINGS
+def test_hhh22_matches_static(stream):
+    counter = create_counter("hhh22")
+    counter.apply_all(stream)
+    assert counter.count == count_four_cycles_trace(counter.graph)
+
+
+@given(stream=consistent_streams(max_updates=40), phase_length=st.integers(min_value=1, max_value=20))
+@FAST_SETTINGS
+def test_phase_fmm_matches_static_for_any_phase_length(stream, phase_length):
+    counter = create_counter("phase-fmm", phase_length=phase_length)
+    counter.apply_all(stream)
+    assert counter.count == count_four_cycles_trace(counter.graph)
+
+
+@given(stream=consistent_streams(max_updates=40), phase_length=st.integers(min_value=1, max_value=20))
+@FAST_SETTINGS
+def test_assadi_shah_matches_static_for_any_phase_length(stream, phase_length):
+    counter = create_counter("assadi-shah", phase_length=phase_length)
+    counter.apply_all(stream)
+    assert counter.count == count_four_cycles_trace(counter.graph)
+
+
+@given(stream=consistent_streams(max_updates=40))
+@FAST_SETTINGS
+def test_all_counters_agree_pairwise(stream):
+    counts = set()
+    for name in COUNTER_NAMES:
+        counter = create_counter(name)
+        counter.apply_all(stream)
+        counts.add(counter.count)
+    assert len(counts) == 1
+
+
+@given(stream=consistent_streams(max_updates=40))
+@FAST_SETTINGS
+def test_insert_then_delete_is_identity(stream):
+    """Applying a stream and then its exact reversal restores a zero count."""
+    counter = create_counter("wedge")
+    counter.apply_all(stream)
+    for update in reversed(list(stream)):
+        counter.apply(update.inverse())
+    assert counter.count == 0
+    assert counter.num_edges == 0

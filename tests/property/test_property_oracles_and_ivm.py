@@ -1,0 +1,99 @@
+"""Property-based tests for the warm-up oracle, the layered counter, and IVM."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.layered import LayeredFourCycleCounter
+from repro.core.oracles import PhaseThreePathOracle
+from repro.core.warmup import WarmupThreePathOracle
+from repro.db.ivm import CyclicJoinCountView, TupleUpdate
+
+FAST_SETTINGS = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+pair = st.tuples(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5))
+
+
+@given(
+    a_edges=st.sets(pair, max_size=12),
+    c_edges=st.sets(pair, max_size=12),
+    b_toggles=st.lists(pair, max_size=40),
+    chunk_size=st.integers(min_value=1, max_value=9),
+)
+@FAST_SETTINGS
+def test_warmup_oracle_matches_naive_for_any_chunking(a_edges, c_edges, b_toggles, chunk_size):
+    """For any fixed A and C, any B toggle sequence and any chunk size, the
+    warm-up oracle's answer equals direct enumeration, for every query pair."""
+    oracle = WarmupThreePathOracle(a_edges, c_edges, chunk_size=chunk_size, high_threshold=3)
+    live: set[tuple[int, int]] = set()
+    for left, right in b_toggles:
+        if (left, right) in live:
+            live.discard((left, right))
+            oracle.delete(2, left, right)
+        else:
+            live.add((left, right))
+            oracle.insert(2, left, right)
+    for u in range(6):
+        for v in range(6):
+            assert oracle.count_three_paths(u, v) == oracle.count_three_paths_naive(u, v)
+
+
+layered_toggle = st.tuples(st.sampled_from("ABCD"), pair)
+
+
+@given(toggles=st.lists(layered_toggle, max_size=45))
+@FAST_SETTINGS
+def test_layered_counter_matches_recount(toggles):
+    """The layered counter equals a from-scratch recount after any toggle
+    sequence over all four relations."""
+    counter = LayeredFourCycleCounter(
+        oracle_factory=lambda: PhaseThreePathOracle(phase_length=7)
+    )
+    live = {relation: set() for relation in "ABCD"}
+    for relation, (left, right) in toggles:
+        if (left, right) in live[relation]:
+            live[relation].discard((left, right))
+            counter.delete(relation, left, right)
+        else:
+            live[relation].add((left, right))
+            counter.insert(relation, left, right)
+    assert counter.is_consistent()
+    assert counter.count >= 0
+
+
+@given(toggles=st.lists(layered_toggle, max_size=45))
+@FAST_SETTINGS
+def test_ivm_view_matches_recomputation(toggles):
+    """The maintained join count equals a from-scratch join after any
+    consistent tuple toggle sequence."""
+    view = CyclicJoinCountView()
+    live = {relation: set() for relation in "ABCD"}
+    for relation, (left, right) in toggles:
+        if (left, right) in live[relation]:
+            live[relation].discard((left, right))
+            view.apply(TupleUpdate.delete(relation, left, right))
+        else:
+            live[relation].add((left, right))
+            view.apply(TupleUpdate.insert(relation, left, right))
+    assert view.is_consistent()
+
+
+@given(toggles=st.lists(layered_toggle, max_size=40))
+@FAST_SETTINGS
+def test_layered_count_is_monotone_under_single_relation_growth(toggles):
+    """Adding a tuple never decreases the layered 4-cycle count, and deleting
+    never increases it (monotonicity of the join under set inclusion)."""
+    counter = LayeredFourCycleCounter()
+    live = {relation: set() for relation in "ABCD"}
+    previous = 0
+    for relation, (left, right) in toggles:
+        if (left, right) in live[relation]:
+            live[relation].discard((left, right))
+            current = counter.delete(relation, left, right)
+            assert current <= previous
+        else:
+            live[relation].add((left, right))
+            current = counter.insert(relation, left, right)
+            assert current >= previous
+        previous = current

@@ -1,0 +1,61 @@
+"""Tests for the exponent comparison tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.theory.exponents import (
+    HHH22_EXPONENT,
+    LOWER_BOUND_EXPONENT,
+    comparison_table,
+    improvement_margin,
+    improvement_threshold,
+    omega_sweep,
+    predicted_speedup,
+    update_time_exponent,
+)
+
+
+class TestHeadlineNumbers:
+    def test_update_time_exponent_current(self):
+        assert update_time_exponent(2.371339) == pytest.approx(0.65686, abs=1e-5)
+
+    def test_update_time_exponent_best(self):
+        assert update_time_exponent(2.0) == pytest.approx(0.625)
+
+    def test_improvement_margin(self):
+        assert improvement_margin(2.371339) == pytest.approx(0.0098109, abs=1e-6)
+        assert improvement_margin(2.9) == 0.0
+
+    def test_threshold(self):
+        assert improvement_threshold() == 2.5
+
+
+class TestComparisonTable:
+    def test_ordering_of_bounds(self):
+        rows = {row.algorithm: row.exponent for row in comparison_table()}
+        lower = rows["OMv conditional lower bound"]
+        previous = rows["HHH22 (previous best upper bound)"]
+        new_current = next(v for k, v in rows.items() if "2.371339" in k or "2.37134" in k)
+        new_best = rows["This paper (omega = 2)"]
+        assert lower == LOWER_BOUND_EXPONENT
+        assert previous == HHH22_EXPONENT
+        # The headline claim: lower bound < new (best) < new (current) < previous.
+        assert lower < new_best < new_current < previous
+
+    def test_predicted_cost(self):
+        rows = comparison_table()
+        for row in rows:
+            assert row.predicted_cost(10_000) == pytest.approx(10_000 ** row.exponent)
+
+
+class TestOmegaSweep:
+    def test_sweep_shape(self):
+        rows = omega_sweep([2.0, 2.25, 2.5, 2.75, 3.0])
+        assert [row.improves for row in rows] == [True, True, False, False, False]
+        exponents = [row.update_time_exponent for row in rows]
+        assert exponents == sorted(exponents)
+        assert exponents[-1] == pytest.approx(2 / 3)
+
+    def test_predicted_speedup_grows_with_m(self):
+        assert predicted_speedup(10 ** 6) > predicted_speedup(10 ** 3) > 1.0

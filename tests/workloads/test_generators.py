@@ -1,0 +1,106 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.generators import (
+    complete_bipartite_stream,
+    erdos_renyi_stream,
+    hub_adversarial_stream,
+    mixed_churn_stream,
+    power_law_stream,
+    sliding_window_stream,
+    stream_catalogue,
+)
+
+
+class TestConsistencyAndDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: erdos_renyi_stream(20, 200, seed=seed),
+            lambda seed: power_law_stream(20, 200, seed=seed),
+            lambda seed: hub_adversarial_stream(20, 200, seed=seed),
+            lambda seed: sliding_window_stream(20, 100, window_size=30, seed=seed),
+            lambda seed: mixed_churn_stream(20, 200, target_live_edges=40, seed=seed),
+        ],
+        ids=["erdos-renyi", "power-law", "hubs", "sliding-window", "churn"],
+    )
+    def test_streams_are_consistent_and_deterministic(self, factory):
+        first = factory(3)
+        second = factory(3)
+        different = factory(4)
+        assert first.validate()
+        assert list(first) == list(second)
+        assert list(first) != list(different)
+
+    def test_requested_length(self):
+        assert len(erdos_renyi_stream(15, 123, seed=1)) == 123
+        assert len(mixed_churn_stream(15, 77, target_live_edges=20, seed=1)) == 77
+
+
+class TestWorkloadShapes:
+    def test_erdos_renyi_has_deletions(self):
+        stream = erdos_renyi_stream(20, 300, delete_fraction=0.4, seed=2)
+        assert stream.num_deletions() > 0
+        assert stream.num_insertions() > stream.num_deletions()
+
+    def test_insert_only_when_delete_fraction_zero(self):
+        stream = erdos_renyi_stream(20, 100, delete_fraction=0.0, seed=2)
+        assert stream.num_deletions() == 0
+
+    def test_power_law_skews_degrees(self):
+        stream = power_law_stream(40, 400, exponent=2.5, delete_fraction=0.0, seed=3)
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        graph = DynamicGraph()
+        graph.apply_all(stream)
+        degrees = sorted((graph.degree(v) for v in graph.vertices()), reverse=True)
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2 :][0] or degrees[0] >= 10
+
+    def test_hub_stream_concentrates_on_hubs(self):
+        stream = hub_adversarial_stream(30, 300, num_hubs=2, hub_probability=0.9, seed=4)
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        graph = DynamicGraph()
+        graph.apply_all(stream)
+        hub_degrees = graph.degree(0) + graph.degree(1)
+        # With hub_probability=0.9 the vast majority of live edges touch a hub.
+        assert hub_degrees >= 0.6 * graph.num_edges
+
+    def test_sliding_window_bounds_live_edges(self):
+        stream = sliding_window_stream(25, 150, window_size=20, seed=5)
+        assert stream.max_live_edges() <= 21
+
+    def test_churn_hovers_near_target(self):
+        stream = mixed_churn_stream(30, 400, target_live_edges=50, seed=6)
+        assert 10 <= len(stream.final_edges()) <= 120
+
+    def test_complete_bipartite(self):
+        stream = complete_bipartite_stream(3, 4)
+        assert len(stream) == 12
+        assert stream.num_deletions() == 0
+
+    def test_catalogue(self):
+        catalogue = stream_catalogue(scale=1, seed=0)
+        assert set(catalogue) == {"erdos-renyi", "power-law", "hubs", "sliding-window", "churn"}
+        for stream in catalogue.values():
+            assert stream.validate()
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_stream(0, 10)
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_stream(10, 10, delete_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            power_law_stream(10, 10, exponent=-1)
+        with pytest.raises(ConfigurationError):
+            hub_adversarial_stream(10, 10, num_hubs=10)
+        with pytest.raises(ConfigurationError):
+            sliding_window_stream(10, 10, window_size=0)
+        with pytest.raises(ConfigurationError):
+            complete_bipartite_stream(0, 3)

@@ -1,0 +1,87 @@
+"""Tests for the database (join) workload generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.join_workloads import (
+    JOIN_RELATIONS,
+    figure_one_workload,
+    random_join_workload,
+    skewed_join_workload,
+)
+
+
+def replay_is_consistent(updates) -> bool:
+    live = {name: set() for name in JOIN_RELATIONS}
+    for update in updates:
+        key = (update.left, update.right)
+        if update.is_insert:
+            if key in live[update.relation]:
+                return False
+            live[update.relation].add(key)
+        else:
+            if key not in live[update.relation]:
+                return False
+            live[update.relation].discard(key)
+    return True
+
+
+class TestRandomJoinWorkload:
+    def test_consistency_and_length(self):
+        updates = random_join_workload(domain_size=8, num_updates=300, seed=1)
+        assert len(updates) == 300
+        assert replay_is_consistent(updates)
+
+    def test_deterministic(self):
+        assert random_join_workload(8, 100, seed=2) == random_join_workload(8, 100, seed=2)
+        assert random_join_workload(8, 100, seed=2) != random_join_workload(8, 100, seed=3)
+
+    def test_touches_all_relations(self):
+        updates = random_join_workload(domain_size=6, num_updates=200, seed=4)
+        assert {update.relation for update in updates} == set(JOIN_RELATIONS)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            random_join_workload(0, 10)
+        with pytest.raises(ConfigurationError):
+            random_join_workload(10, 0)
+        with pytest.raises(ConfigurationError):
+            random_join_workload(10, 10, delete_fraction=1.0)
+
+
+class TestSkewedJoinWorkload:
+    def test_consistency(self):
+        updates = skewed_join_workload(domain_size=10, num_updates=300, seed=5)
+        assert replay_is_consistent(updates)
+
+    def test_hot_values_dominate(self):
+        updates = skewed_join_workload(
+            domain_size=20, num_updates=400, hot_fraction=0.1, hot_probability=0.9, seed=6
+        )
+        value_uses = Counter()
+        for update in updates:
+            if update.is_insert:
+                value_uses[update.left] += 1
+                value_uses[update.right] += 1
+        hot_uses = sum(count for value, count in value_uses.items() if value < 2)
+        assert hot_uses >= 0.5 * sum(value_uses.values())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            skewed_join_workload(1, 10)
+        with pytest.raises(ConfigurationError):
+            skewed_join_workload(10, 10, hot_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            skewed_join_workload(10, 10, hot_probability=2.0)
+
+
+class TestFigureOneWorkload:
+    def test_contents(self):
+        updates = figure_one_workload()
+        assert len(updates) == 9
+        assert all(update.is_insert for update in updates)
+        assert {update.relation for update in updates} == {"A", "B"}
