@@ -1,0 +1,10 @@
+"""Legacy-toolchain shim: all metadata lives in pyproject.toml.
+
+Kept so `pip install -e . --no-use-pep517` (and other setup.py-era flows)
+work on environments whose setuptools predates PEP 660 editable wheels or
+that lack the `wheel` package; modern pip uses pyproject.toml directly.
+"""
+
+from setuptools import setup
+
+setup()

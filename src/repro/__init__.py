@@ -50,7 +50,15 @@ from repro.core import (
     register_counter,
 )
 from repro.db import CyclicJoinCountView, TupleUpdate
-from repro.graph import DynamicGraph, EdgeUpdate, LayeredGraph, UpdateKind, UpdateStream
+from repro.graph import (
+    DynamicGraph,
+    EdgeUpdate,
+    LayeredGraph,
+    UpdateBatch,
+    UpdateKind,
+    UpdateStream,
+    normalize_batch,
+)
 from repro.theory import (
     published_parameters,
     solve_main_parameters,
@@ -77,6 +85,8 @@ __all__ = [
     "EdgeUpdate",
     "UpdateKind",
     "UpdateStream",
+    "UpdateBatch",
+    "normalize_batch",
     "CyclicJoinCountView",
     "TupleUpdate",
     "solve_main_parameters",

@@ -1,4 +1,4 @@
-"""Experiment implementations (E1–E9 of DESIGN.md).
+"""Experiment implementations (E1–E10 of DESIGN.md).
 
 Each function runs one of the reproduction's experiments and returns a
 structured result object.  The benchmark modules under ``benchmarks/`` are thin
@@ -20,6 +20,8 @@ The experiments:
 * **E7** — IVM cyclic-join view maintenance under tuple updates.
 * **E8** — omega ablation: the update-time exponent as a function of omega.
 * **E9** — phase-length ablation for the phase/FMM counter.
+* **E10** — batched-pipeline throughput: updates/sec versus batch size for
+  every registered counter, with batch/unbatch exactness checked at the end.
 """
 
 from __future__ import annotations
@@ -447,4 +449,82 @@ def experiment_e9_phase_ablation(
                 phases_completed=counter.phases_completed,
             )
         )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E10 — batched-pipeline throughput
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchThroughputRow:
+    """Throughput of one (counter, batch size) combination."""
+
+    counter: str
+    batch_size: int
+    updates: int
+    seconds: float
+    updates_per_second: float
+    speedup_vs_unbatched: float
+    final_count: int
+    consistent: bool
+
+
+def experiment_e10_batch_throughput(
+    num_vertices: int = 24,
+    num_updates: int = 1280,
+    batch_sizes: Sequence[int] = (1, 8, 64, 256),
+    counters: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[BatchThroughputRow]:
+    """E10: end-to-end updates/sec of the batch pipeline versus batch size.
+
+    Replays the standard workload — a dense Erdős–Rényi churn stream whose
+    live edge count hovers near the complete graph, the regime where
+    per-update work is degree-bound — through every counter once per batch
+    size: size 1 uses the per-update ``apply`` path, larger sizes the
+    ``apply_batch`` pipeline.  Wall-clock time covers the whole replay
+    (normalization included), so the rows measure exactly what a caller of the
+    batch API experiences.  Every run's final count is verified against a
+    from-scratch recount, and all runs of a counter must agree — the
+    batch/unbatch exactness contract, measured rather than assumed.
+    """
+    import time
+
+    stream = erdos_renyi_stream(num_vertices, num_updates, seed=seed)
+    names = sorted(counters if counters is not None else available_counters())
+    rows: List[BatchThroughputRow] = []
+    for name in names:
+        unbatched_seconds: Optional[float] = None
+        final_counts = set()
+        for batch_size in batch_sizes:
+            counter = create_counter(name)
+            started = time.perf_counter()
+            if batch_size <= 1:
+                for update in stream:
+                    counter.apply(update)
+            else:
+                for window in stream.batched(batch_size):
+                    counter.apply_batch(window)
+            elapsed = max(time.perf_counter() - started, 1e-9)
+            if batch_size <= 1:
+                unbatched_seconds = elapsed
+            # NaN when the sweep has no batch-size-1 baseline to compare with.
+            speedup = unbatched_seconds / elapsed if unbatched_seconds is not None else float("nan")
+            final_counts.add(counter.count)
+            rows.append(
+                BatchThroughputRow(
+                    counter=name,
+                    batch_size=batch_size,
+                    updates=len(stream),
+                    seconds=elapsed,
+                    updates_per_second=len(stream) / elapsed,
+                    speedup_vs_unbatched=speedup,
+                    final_count=counter.count,
+                    consistent=counter.is_consistent(),
+                )
+            )
+        if len(final_counts) > 1:
+            raise AssertionError(
+                f"counter {name!r} final counts diverged across batch sizes: {final_counts}"
+            )
     return rows

@@ -5,8 +5,12 @@ Installed as ``repro-4cycles``.  Subcommands:
 * ``constants`` — print the Theorem 1/2 parameter tables (experiments E1/E2)
   and the Appendix B constraint verification (E3).
 * ``compare`` — replay a synthetic workload through several counters and print
-  the comparison table (a small version of experiments E4/E5).
+  the comparison table (a small version of experiments E4/E5).  With
+  ``--batch-size N`` the replay goes through the batched update pipeline
+  (``apply_batch`` windows of ``N`` updates) instead of update-at-a-time.
 * ``omega-sweep`` — print the update-time exponent as a function of omega (E8).
+* ``batch-throughput`` — measure updates/sec of the batch pipeline as a
+  function of batch size for the selected counters (experiment E10).
 """
 
 from __future__ import annotations
@@ -51,13 +55,55 @@ def _command_constants(_: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from error
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {parsed}")
+    return parsed
+
+
+def _batch_size_list(value: str) -> list[int]:
+    return [_positive_int(size) for size in value.split(",")]
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     workload = _WORKLOADS[args.workload]
     stream = workload(args.vertices, args.updates, seed=args.seed)
     names = args.counters.split(",") if args.counters else available_counters()
-    results = compare_counters(names, stream)
-    print(f"workload={args.workload} vertices={args.vertices} updates={args.updates}")
+    results = compare_counters(names, stream, batch_size=args.batch_size)
+    print(
+        f"workload={args.workload} vertices={args.vertices} updates={args.updates} "
+        f"batch-size={args.batch_size}"
+    )
     print(format_table(summary_table(results)))
+    return 0
+
+
+def _command_batch_throughput(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import experiment_e10_batch_throughput
+
+    names = args.counters.split(",") if args.counters else None
+    rows = experiment_e10_batch_throughput(
+        num_vertices=args.vertices,
+        num_updates=args.updates,
+        batch_sizes=args.batch_sizes,
+        counters=names,
+        seed=args.seed,
+    )
+    print(f"{'counter':<14} {'batch':>6} {'upd/s':>12} {'speedup':>8}  consistent")
+    for row in rows:
+        speedup = (
+            f"{row.speedup_vs_unbatched:>8.2f}"
+            if row.speedup_vs_unbatched == row.speedup_vs_unbatched
+            else f"{'-':>8}"
+        )
+        print(
+            f"{row.counter:<14} {row.batch_size:>6} {row.updates_per_second:>12.1f} "
+            f"{speedup}  {'yes' if row.consistent else 'NO'}"
+        )
     return 0
 
 
@@ -92,11 +138,36 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="comma-separated counter names (default: all registered counters)",
     )
+    compare.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=1,
+        help="feed the stream through apply_batch in windows of this size (default: 1)",
+    )
     compare.set_defaults(handler=_command_compare)
 
     sweep = subparsers.add_parser("omega-sweep", help="update-time exponent as a function of omega")
     sweep.add_argument("--step", type=float, default=0.05)
     sweep.set_defaults(handler=_command_omega_sweep)
+
+    throughput = subparsers.add_parser(
+        "batch-throughput", help="updates/sec versus batch size (experiment E10)"
+    )
+    throughput.add_argument("--vertices", type=int, default=24)
+    throughput.add_argument("--updates", type=int, default=1280)
+    throughput.add_argument("--seed", type=int, default=0)
+    throughput.add_argument(
+        "--batch-sizes",
+        type=_batch_size_list,
+        default=[1, 8, 64, 256],
+        help="comma-separated batch sizes to sweep (default: 1,8,64,256)",
+    )
+    throughput.add_argument(
+        "--counters",
+        default="",
+        help="comma-separated counter names (default: all registered counters)",
+    )
+    throughput.set_defaults(handler=_command_batch_throughput)
 
     return parser
 

@@ -69,6 +69,11 @@ class AssadiShahThreePathOracle(PhaseThreePathOracle):
         self._dense_l2: Set[Vertex] = set()
         self._dense_l3: Set[Vertex] = set()
         self._class_reference_m = 1
+        # While a batch is in flight, middle vertices touched by updates are
+        # collected here and their class transitions are checked once at the
+        # boundary (None = not batching).
+        self._deferred_l2: Optional[Set[Vertex]] = None
+        self._deferred_l3: Optional[Set[Vertex]] = None
 
     # -- class machinery ----------------------------------------------------------
     @property
@@ -123,8 +128,45 @@ class AssadiShahThreePathOracle(PhaseThreePathOracle):
     def _after_relation_update(self, position: int, left: Vertex, right: Vertex, sign: int) -> None:
         self._maintain_sparse_wedges(position, left, right, sign)
         super()._after_relation_update(position, left, right, sign)
+        if self._deferred_l2 is not None and self._deferred_l3 is not None:
+            # Batching: record the touched middles, check them at the boundary.
+            if position == 1:
+                self._deferred_l2.add(right)
+            elif position == 2:
+                self._deferred_l2.add(left)
+                self._deferred_l3.add(right)
+            else:
+                self._deferred_l3.add(left)
+            return
         self._refresh_class_thresholds()
         self._observe_classes(position, left, right)
+
+    # -- batch deferral ---------------------------------------------------------------
+    def begin_batch(self) -> None:
+        """Defer both phase rollovers and dense/sparse class transitions.
+
+        The Eq. (12) structures stay consistent with the *current* dense sets
+        at every update (``_maintain_sparse_wedges`` branches on membership),
+        and every query split is exact for any class assignment — hysteresis
+        already lets classes lag behind degrees.  Deferring the transition
+        checks to the batch boundary therefore preserves exactness.
+        """
+        super().begin_batch()
+        if self._deferred_l2 is None:
+            self._deferred_l2 = set()
+            self._deferred_l3 = set()
+
+    def end_batch(self) -> None:
+        touched_l2 = self._deferred_l2 or ()
+        touched_l3 = self._deferred_l3 or ()
+        self._deferred_l2 = None
+        self._deferred_l3 = None
+        self._refresh_class_thresholds()
+        for x in touched_l2:
+            self._observe_l2(x)
+        for y in touched_l3:
+            self._observe_l3(y)
+        super().end_batch()
 
     def _maintain_sparse_wedges(self, position: int, left: Vertex, right: Vertex, sign: int) -> None:
         """On-the-fly maintenance of the Eq. (12) structures (Claim 5.3)."""

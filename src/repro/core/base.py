@@ -24,18 +24,49 @@ counters supply
 A hook :meth:`DynamicFourCycleCounter._post_update` runs after the graph
 reflects the new state; counters use it for degree-class transitions and phase
 bookkeeping.
+
+Batched updates.  :meth:`DynamicFourCycleCounter.apply_batch` consumes a whole
+window of updates at once.  The window is first *normalized*
+(:func:`repro.graph.updates.normalize_batch`): insert/delete pairs on the same
+edge cancel, consistency is validated once per distinct edge against the live
+graph, and the surviving net updates are ordered deletions-first.  The batch
+semantics are:
+
+* **counts are exact at batch boundaries** — after ``apply_batch`` returns,
+  :attr:`DynamicFourCycleCounter.count` equals the number of 4-cycles of the
+  graph obtained by replaying the raw window update-by-update (normalization
+  preserves the final graph, and the final graph determines the count);
+* **Claim A.3's ordering is preserved within a batch** — the default
+  implementation replays the normalized updates through the same
+  query-before/after-maintenance sequencing as :meth:`apply`, so every
+  per-update delta is still a count of genuine 3-paths;
+* intermediate counts *within* a batch are not reported; metrics record one
+  :class:`~repro.instrumentation.metrics.UpdateRecord` per batch.
+
+Concrete counters can amortize work across the window by overriding
+:meth:`DynamicFourCycleCounter._batch_hook` (replace the replay entirely, e.g.
+one recount or one vectorized rebuild per batch) or
+:meth:`DynamicFourCycleCounter._begin_batch` /
+:meth:`DynamicFourCycleCounter._end_batch` (defer degree-class and phase
+rebuild checks to the batch boundary while keeping the per-update replay).
 """
 
 from __future__ import annotations
 
 import abc
 import time
-from typing import Hashable, Iterable, Optional
+from typing import Hashable, Iterable, List, Optional, Union
 
 from repro.exceptions import DuplicateEdgeError, MissingEdgeError, SelfLoopError
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.static_counts import count_four_cycles_trace
-from repro.graph.updates import EdgeUpdate, UpdateKind, UpdateStream
+from repro.graph.updates import (
+    EdgeUpdate,
+    UpdateBatch,
+    UpdateKind,
+    UpdateStream,
+    normalize_batch,
+)
 from repro.instrumentation.cost_model import CostModel
 from repro.instrumentation.metrics import UpdateMetrics, UpdateRecord
 
@@ -47,6 +78,11 @@ class DynamicFourCycleCounter(abc.ABC):
 
     #: Short machine-readable name used by the registry and benchmarks.
     name: str = "abstract"
+
+    #: Minimum net batch size before a counter's `_batch_hook` fast path is
+    #: worth taking; below it the per-update replay is typically cheaper (the
+    #: rebuild-style fast paths pay an O(n^2)-ish fixed cost per batch).
+    batch_fast_path_threshold: int = 32
 
     def __init__(self, record_metrics: bool = False) -> None:
         self._graph = DynamicGraph()
@@ -91,6 +127,74 @@ class DynamicFourCycleCounter(abc.ABC):
         """Process one update and return the new 4-cycle count."""
         started = time.perf_counter()
         before = self.cost.snapshot() if self.metrics is not None else None
+        self._apply_update_core(update)
+        self._updates_processed += 1
+        self._record_metrics(started, before, update.is_insert)
+        return self._count
+
+    def apply_batch(self, updates: Union[UpdateBatch, Iterable[EdgeUpdate]]) -> int:
+        """Process a window of updates as one batch and return the new count.
+
+        Raw windows are normalized first (insert/delete pairs cancel,
+        consistency is validated once against the live graph); an
+        already-normalized :class:`~repro.graph.updates.UpdateBatch` is
+        consumed as-is.  The count is exact at the batch boundary; metrics
+        record a single :class:`~repro.instrumentation.metrics.UpdateRecord`
+        for the whole batch.
+        """
+        if isinstance(updates, UpdateBatch):
+            batch = updates
+        else:
+            batch = normalize_batch(updates, self._graph.has_edge)
+        started = time.perf_counter()
+        before = self.cost.snapshot() if self.metrics is not None else None
+        if not batch.is_empty:
+            self._begin_batch(batch)
+            try:
+                if not self._batch_hook(batch):
+                    self._register_touched(batch)
+                    for update in batch:
+                        self._apply_update_core(update)
+            finally:
+                self._end_batch(batch)
+        else:
+            self._register_touched(batch)
+        self._updates_processed += batch.raw_size
+        # A zero-length window consumed no stream positions; recording it
+        # would duplicate the previous record's index with a phantom entry.
+        if batch.raw_size > 0:
+            self._record_metrics(started, before, batch.num_insertions >= batch.num_deletions)
+        return self._count
+
+    def apply_all(self, updates: Iterable[EdgeUpdate]) -> int:
+        """Process every update in order and return the final count."""
+        for update in updates:
+            self.apply(update)
+        return self._count
+
+    def process_stream(self, stream: UpdateStream) -> list[int]:
+        """Process a stream and return the count after every update."""
+        return [self.apply(update) for update in stream]
+
+    def process_stream_batched(self, stream: UpdateStream, batch_size: int) -> List[int]:
+        """Process a stream in windows of ``batch_size`` updates.
+
+        Returns the count at every batch boundary (exact there by the batch
+        contract); the last entry is the final count.
+        """
+        return [self.apply_batch(window) for window in stream.batched(batch_size)]
+
+    def recount(self) -> int:
+        """Recompute the 4-cycle count from scratch (for validation)."""
+        return count_four_cycles_trace(self._graph)
+
+    def is_consistent(self) -> bool:
+        """Whether the maintained count matches a from-scratch recount."""
+        return self._count == self.recount()
+
+    # -- update core -----------------------------------------------------------
+    def _apply_update_core(self, update: EdgeUpdate) -> None:
+        """Apply one update (Claim A.3 ordering) without metrics bookkeeping."""
         u, v = update.u, update.v
         if update.kind is UpdateKind.INSERT:
             self._validate_insert(u, v)
@@ -106,41 +210,54 @@ class DynamicFourCycleCounter(abc.ABC):
             delta = self._three_paths(u, v)
             self._post_update(u, v, -1)
             self._count -= delta
-        self._updates_processed += 1
-        if self.metrics is not None and before is not None:
-            after = self.cost.snapshot()
-            spent = after.diff(before)
-            self.metrics.record(
-                UpdateRecord(
-                    index=self._updates_processed - 1,
-                    operations=spent.total,
-                    seconds=time.perf_counter() - started,
-                    edge_count=self._graph.num_edges,
-                    is_insert=update.is_insert,
-                    categories=dict(spent.categories),
-                )
+
+    def _register_touched(self, batch: UpdateBatch) -> None:
+        """Register every vertex the raw window touched (cancelled pairs
+        included) so the graph matches a per-update replay exactly.  The
+        replay path calls this itself; fast-path hooks get it for free from
+        :meth:`DynamicGraph.apply_batch`."""
+        for vertex in batch.touched_vertices:
+            self._graph.add_vertex(vertex)
+
+    def _record_metrics(self, started: float, before, is_insert: bool) -> None:
+        if self.metrics is None or before is None:
+            return
+        spent = self.cost.snapshot().diff(before)
+        self.metrics.record(
+            UpdateRecord(
+                index=self._updates_processed - 1,
+                operations=spent.total,
+                seconds=time.perf_counter() - started,
+                edge_count=self._graph.num_edges,
+                is_insert=is_insert,
+                categories=dict(spent.categories),
             )
-        return self._count
-
-    def apply_all(self, updates: Iterable[EdgeUpdate]) -> int:
-        """Process every update in order and return the final count."""
-        for update in updates:
-            self.apply(update)
-        return self._count
-
-    def process_stream(self, stream: UpdateStream) -> list[int]:
-        """Process a stream and return the count after every update."""
-        return [self.apply(update) for update in stream]
-
-    def recount(self) -> int:
-        """Recompute the 4-cycle count from scratch (for validation)."""
-        return count_four_cycles_trace(self._graph)
-
-    def is_consistent(self) -> bool:
-        """Whether the maintained count matches a from-scratch recount."""
-        return self._count == self.recount()
+        )
 
     # -- hooks for subclasses --------------------------------------------------
+    def _batch_hook(self, batch: UpdateBatch) -> bool:
+        """Amortized fast path for a whole normalized batch.
+
+        Called with the graph still in its pre-batch state.  Return ``True``
+        after fully applying the batch (graph, auxiliary structures, *and*
+        :attr:`count`); return ``False`` without touching any state to fall
+        back to the exact per-update replay.  The default always falls back.
+        Hooks should mutate the graph via :meth:`DynamicGraph.apply_batch`,
+        which also registers the window's touched vertices (the replay path
+        registers them itself via :meth:`_register_touched`).
+        """
+        return False
+
+    def _begin_batch(self, batch: UpdateBatch) -> None:
+        """Hook called before a batch is applied (fast path or replay).
+
+        Counters use it to start deferring degree-class and phase rebuild
+        checks to the batch boundary.
+        """
+
+    def _end_batch(self, batch: UpdateBatch) -> None:
+        """Hook called after a batch is applied; flush deferred checks here."""
+
     @abc.abstractmethod
     def _three_paths(self, u: Vertex, v: Vertex) -> int:
         """Number of 3-paths between ``u`` and ``v``; the edge ``{u, v}`` is

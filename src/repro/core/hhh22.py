@@ -30,9 +30,10 @@ degeneracy concern (Claim A.3 / Claim 8.1 style argument).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Set
+from typing import Hashable, Iterable, Optional, Set
 
 from repro.core.base import DynamicFourCycleCounter
+from repro.graph.updates import UpdateBatch
 from repro.matmul.engine import CountMatrix
 
 Vertex = Hashable
@@ -51,6 +52,9 @@ class HHH22Counter(DynamicFourCycleCounter):
         self._paths_ll = CountMatrix()      # P_LL[a][b], both middles low
         self._reference_m = 1
         self._theta = 1.0
+        #: While a batch is in flight, class checks are deferred: touched
+        #: vertices are collected here and examined once at the boundary.
+        self._deferred_class_checks: Optional[Set[Vertex]] = None
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -193,11 +197,33 @@ class HHH22Counter(DynamicFourCycleCounter):
 
     # -- class transitions ---------------------------------------------------------
     def _post_update(self, u: Vertex, v: Vertex, sign: int) -> None:
+        if self._deferred_class_checks is not None:
+            self._deferred_class_checks.update((u, v))
+            return
+        self._run_class_checks((u, v))
+
+    def _begin_batch(self, batch: UpdateBatch) -> None:
+        self._deferred_class_checks = set()
+
+    def _end_batch(self, batch: UpdateBatch) -> None:
+        touched = self._deferred_class_checks or ()
+        self._deferred_class_checks = None
+        self._run_class_checks(touched)
+
+    def _run_class_checks(self, vertices: Iterable[Vertex]) -> None:
+        """Rebuild on ``m`` drift, else re-examine the touched vertices.
+
+        The hysteresis band makes the *timing* of these checks a pure
+        performance concern: every structure is maintained consistently with
+        the current ``self._high`` set, so deferring transitions to a batch
+        boundary never affects exactness — it only lets vertex classes lag by
+        at most one batch.
+        """
         m = max(self._graph.num_edges, 1)
         if m > 2 * self._reference_m or 2 * m < self._reference_m:
             self._full_rebuild()
             return
-        for vertex in (u, v):
+        for vertex in vertices:
             degree = self._graph.degree(vertex)
             if vertex in self._high and degree < self._theta:
                 self._demote(vertex)

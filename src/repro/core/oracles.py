@@ -127,6 +127,19 @@ class ThreePathOracle(abc.ABC):
     def delete(self, position: int, left: Vertex, right: Vertex) -> None:
         self.update(position, left, right, -1)
 
+    # -- batch deferral -----------------------------------------------------------
+    def begin_batch(self) -> None:
+        """Start of a batched update window: oracles may defer amortized
+        bookkeeping (phase rebuilds, class transitions) until
+        :meth:`end_batch`.  The default does nothing — plain oracles have no
+        deferrable work."""
+
+    def end_batch(self) -> None:
+        """End of a batched update window: flush any deferred bookkeeping.
+        Exactness never depends on these checks running per update, only the
+        amortized cost accounting does, so deferring them to the boundary is
+        safe."""
+
     @abc.abstractmethod
     def count_three_paths(self, u: Vertex, v: Vertex) -> int:
         """The number of chain 3-paths from ``u`` (L1) to ``v`` (L4)."""
@@ -238,6 +251,7 @@ class PhaseThreePathOracle(ThreePathOracle):
         self._pending_delta_c: Dict[Vertex, Dict[Vertex, int]] = {}
         self._scheduler = PhaseScheduler(budget_per_update=max(1, self._min_phase_length))
         self._pending_jobs: Dict[str, ChainProductJob] = {}
+        self._defer_phase_end = False
         self._start_phase()
 
     # -- introspection ---------------------------------------------------------------
@@ -267,6 +281,21 @@ class PhaseThreePathOracle(ThreePathOracle):
         worked = self._scheduler.work()
         self.cost.charge("matmul_ops", worked)
         self._updates_in_phase += 1
+        if self._updates_in_phase >= self._phase_length and not self._defer_phase_end:
+            self._end_phase()
+
+    def begin_batch(self) -> None:
+        """Defer phase rollovers to the batch boundary.
+
+        Phase ends only swap which snapshot the precomputed products describe;
+        the query is exact against *any* snapshot plus its deltas, so letting a
+        phase run past its nominal length during a batch never changes an
+        answer — it only postpones the rebuild to :meth:`end_batch`.
+        """
+        self._defer_phase_end = True
+
+    def end_batch(self) -> None:
+        self._defer_phase_end = False
         if self._updates_in_phase >= self._phase_length:
             self._end_phase()
 
@@ -397,6 +426,12 @@ class OracleBackedCounter(DynamicFourCycleCounter):
         for position in CHAIN_POSITIONS:
             self._oracle.update(position, u, v, sign)
             self._oracle.update(position, v, u, sign)
+
+    def _begin_batch(self, batch) -> None:
+        self._oracle.begin_batch()
+
+    def _end_batch(self, batch) -> None:
+        self._oracle.end_batch()
 
 
 def _add_nested(

@@ -5,6 +5,11 @@ specialised to :class:`~repro.core.oracles.PhaseThreePathOracle`: the exact
 phase decomposition with old-phase products computed by (fast) matrix
 multiplication spread across the phase.  It exposes the phase parameters so
 benchmarks (E6, E9) can sweep them.
+
+Under ``apply_batch`` the counter inherits the oracle's batch deferral: phase
+rollovers that fall inside a batch are postponed to the batch boundary (the
+answers stay exact against the stretched phase's deltas), so a batch never
+pays a mid-window product promotion.
 """
 
 from __future__ import annotations
@@ -47,3 +52,9 @@ class PhaseFMMCounter(OracleBackedCounter):
     @property
     def phase_length(self) -> int:
         return self.phase_oracle.phase_length
+
+    @property
+    def updates_in_phase(self) -> int:
+        """Progress inside the current phase (may exceed ``phase_length``
+        mid-batch while a deferred rollover is pending)."""
+        return self.phase_oracle._updates_in_phase

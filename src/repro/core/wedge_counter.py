@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from typing import Hashable
 
+import numpy as np
+
 from repro.core.base import DynamicFourCycleCounter
+from repro.graph.updates import UpdateBatch
 from repro.matmul.engine import CountMatrix
 
 Vertex = Hashable
@@ -37,6 +40,32 @@ class WedgeCounter(DynamicFourCycleCounter):
     def wedges_between(self, a: Vertex, b: Vertex) -> int:
         """The maintained number of wedges between ``a`` and ``b``."""
         return self._wedges.get(a, b)
+
+    def _batch_hook(self, batch: UpdateBatch) -> bool:
+        """Batch fast path: one vectorized wedge rebuild per batch.
+
+        Instead of ``O(deg(u) + deg(v))`` dictionary updates per update, the
+        whole window is applied to the graph in bulk and the wedge matrix is
+        rebuilt once as ``A @ A`` (off-diagonal), which simultaneously yields
+        the exact 4-cycle count at the batch boundary: an unordered pair with
+        ``w`` common neighbors spans ``C(w, 2)`` 4-cycles per diagonal, and
+        every 4-cycle has two diagonals, so the ordered-pair sum of ``C(w, 2)``
+        counts each cycle four times.
+        """
+        if len(batch) < self.batch_fast_path_threshold:
+            return False
+        self._graph.apply_batch(batch)
+        matrix, order = self._graph.adjacency_matrix()
+        n = matrix.shape[0]
+        wedge = matrix @ matrix
+        np.fill_diagonal(wedge, 0)
+        # One dense n x n product: ~n^3 multiply-adds, charged so the ops
+        # columns stay comparable with the per-update structure_update path.
+        self.cost.charge("batch_rebuild", n * n * n)
+        self._wedges = CountMatrix.from_dense(wedge, order)
+        pairs = wedge * (wedge - 1) // 2
+        self._count = int(pairs.sum()) // 4
+        return True
 
     def _three_paths(self, u: Vertex, v: Vertex) -> int:
         total = 0

@@ -1,6 +1,6 @@
 """Database layer: relations, cyclic joins, and incremental view maintenance."""
 
-from repro.db.ivm import CyclicJoinCountView, TupleUpdate
+from repro.db.ivm import CyclicJoinCountView, TupleBatch, TupleUpdate, normalize_tuple_updates
 from repro.db.join import count_cyclic_join, count_two_hop_join, relations_to_layered_graph
 from repro.db.relation import Relation
 from repro.db.schema import RelationSchema, four_cycle_schemas, validate_cyclic_chain
@@ -14,5 +14,7 @@ __all__ = [
     "count_two_hop_join",
     "relations_to_layered_graph",
     "CyclicJoinCountView",
+    "TupleBatch",
     "TupleUpdate",
+    "normalize_tuple_updates",
 ]

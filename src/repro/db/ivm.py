@@ -7,12 +7,24 @@ insertions and deletions — without ever materializing the join — by delegati
 to a :class:`~repro.core.layered.LayeredFourCycleCounter` (Section 1: the join
 size equals the number of layered 4-cycles, and the per-update delta is the
 number of cycles through the updated tuple).
+
+Batched updates.  :meth:`CyclicJoinCountView.apply_batch` consumes a window of
+:class:`TupleUpdate` objects at once: the window is normalized
+(:func:`normalize_tuple_updates` — insert/delete pairs on the same tuple
+cancel, consistency is validated once per distinct tuple against the stored
+relations) and the surviving net updates are applied grouped per relation,
+deletions before insertions within each group.  Batch-boundary semantics match
+the graph counters: the maintained count is **exact at every batch boundary**
+(the net updates reach the same final database state, and each applied
+update's delta is computed exactly at its application time — the Claim A.3
+ordering is preserved within the batch), while intermediate counts inside a
+window are not reported.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.layered import LayeredFourCycleCounter
 from repro.core.oracles import ThreePathOracle
@@ -20,6 +32,7 @@ from repro.db.join import count_cyclic_join
 from repro.db.relation import Relation
 from repro.db.schema import RelationSchema, four_cycle_schemas, validate_cyclic_chain
 from repro.exceptions import SchemaError
+from repro.graph.updates import LayeredEdgeUpdate, simulate_window_presence
 
 Value = Hashable
 
@@ -40,6 +53,98 @@ class TupleUpdate:
     @classmethod
     def delete(cls, relation: str, left: Value, right: Value) -> "TupleUpdate":
         return cls(relation, left, right, False)
+
+
+@dataclass(frozen=True)
+class TupleBatch:
+    """A canonicalized window of tuple updates, grouped per relation.
+
+    Produced by :func:`normalize_tuple_updates`.  ``relations`` lists the
+    relation names in first-touch order; ``deletions`` / ``insertions`` map
+    each of those names to its net updates.  Iteration yields one relation
+    group at a time, deletions before insertions, which is always a valid
+    ordering against the snapshot the window was normalized for.
+    """
+
+    relations: Tuple[str, ...]
+    deletions: Mapping[str, Tuple[TupleUpdate, ...]]
+    insertions: Mapping[str, Tuple[TupleUpdate, ...]]
+    raw_size: int
+    cancelled: int = 0
+
+    def __len__(self) -> int:
+        """Number of surviving net updates."""
+        return sum(len(self.deletions[name]) + len(self.insertions[name]) for name in self.relations)
+
+    def __iter__(self) -> Iterator[TupleUpdate]:
+        for name, deletions, insertions in self.groups():
+            yield from deletions
+            yield from insertions
+
+    def groups(self) -> Iterator[Tuple[str, Tuple[TupleUpdate, ...], Tuple[TupleUpdate, ...]]]:
+        """Iterate ``(relation, deletions, insertions)`` per touched relation."""
+        for name in self.relations:
+            yield name, self.deletions[name], self.insertions[name]
+
+    @property
+    def is_empty(self) -> bool:
+        return all(
+            not self.deletions[name] and not self.insertions[name] for name in self.relations
+        )
+
+
+def normalize_tuple_updates(
+    updates: Iterable[TupleUpdate],
+    is_tuple_live: Optional[Callable[[str, Value, Value], bool]] = None,
+) -> TupleBatch:
+    """Canonicalize a window of tuple updates against the stored relations.
+
+    ``is_tuple_live(relation, left, right)`` answers membership against the
+    state the window will be applied to; each distinct tuple is probed at most
+    once.  Insert/delete pairs on the same tuple cancel; the survivors are
+    grouped per relation with deletions ordered before insertions.  An
+    inconsistent window (insert of a present tuple, delete of an absent one)
+    raises :class:`~repro.exceptions.InvalidUpdateError`.
+
+    The simulate/cancel/validate pass is shared with the graph-side
+    :func:`repro.graph.updates.normalize_batch` via
+    :func:`repro.graph.updates.simulate_window_presence`, so the two batch
+    contracts cannot drift apart.
+    """
+    initially, present, order, raw_size = simulate_window_presence(
+        updates,
+        lambda update: (update.relation, update.left, update.right),
+        (
+            (lambda key: is_tuple_live(key[0], key[1], key[2]))
+            if is_tuple_live is not None
+            else lambda key: False
+        ),
+        lambda update: update.is_insert,
+        "tuple",
+    )
+    relation_order: List[str] = []
+    for key in order:
+        if key[0] not in relation_order:
+            relation_order.append(key[0])
+    deletions: Dict[str, List[TupleUpdate]] = {name: [] for name in relation_order}
+    insertions: Dict[str, List[TupleUpdate]] = {name: [] for name in relation_order}
+    net = 0
+    for key in order:
+        if initially[key] == present[key]:
+            continue
+        relation, left, right = key
+        net += 1
+        if present[key]:
+            insertions[relation].append(TupleUpdate.insert(relation, left, right))
+        else:
+            deletions[relation].append(TupleUpdate.delete(relation, left, right))
+    return TupleBatch(
+        relations=tuple(relation_order),
+        deletions={name: tuple(values) for name, values in deletions.items()},
+        insertions={name: tuple(values) for name, values in insertions.items()},
+        raw_size=raw_size,
+        cancelled=raw_size - net,
+    )
 
 
 class CyclicJoinCountView:
@@ -114,6 +219,37 @@ class CyclicJoinCountView:
     def apply_all(self, updates: Iterable[TupleUpdate]) -> int:
         for update in updates:
             self.apply(update)
+        return self._counter.count
+
+    def apply_batch(self, updates: Union[TupleBatch, Iterable[TupleUpdate]]) -> int:
+        """Apply a window of tuple updates as one batch; return the new count.
+
+        Raw windows are normalized first (cancellation + one validation probe
+        per distinct tuple); an already-normalized :class:`TupleBatch` is
+        consumed as-is.  Net updates are applied grouped per relation —
+        relation and name-map lookups happen once per group instead of once
+        per update — and the layered counter processes the whole window
+        through its own batch entry point.  The count is exact at the batch
+        boundary.
+        """
+        if isinstance(updates, TupleBatch):
+            batch = updates
+        else:
+            batch = normalize_tuple_updates(
+                updates, lambda name, left, right: self.relation(name).contains(left, right)
+            )
+        layered: List[LayeredEdgeUpdate] = []
+        for name, deletions, insertions in batch.groups():
+            relation = self.relation(name)
+            canonical = self._name_map[name]
+            for update in deletions:
+                relation.delete(update.left, update.right)
+                layered.append(LayeredEdgeUpdate.delete(canonical, update.left, update.right))
+            for update in insertions:
+                relation.insert(update.left, update.right)
+                layered.append(LayeredEdgeUpdate.insert(canonical, update.left, update.right))
+        self._counter.apply_batch(layered)
+        self._updates_processed += batch.raw_size
         return self._counter.count
 
     # -- validation -----------------------------------------------------------------------

@@ -35,8 +35,10 @@ from repro.graph.updates import (
     RELATION_NAMES,
     EdgeUpdate,
     LayeredEdgeUpdate,
+    UpdateBatch,
     UpdateKind,
     UpdateStream,
+    normalize_batch,
 )
 
 __all__ = [
@@ -64,7 +66,9 @@ __all__ = [
     "total_wedges",
     "EdgeUpdate",
     "LayeredEdgeUpdate",
+    "UpdateBatch",
     "UpdateKind",
     "UpdateStream",
+    "normalize_batch",
     "RELATION_NAMES",
 ]

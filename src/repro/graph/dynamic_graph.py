@@ -11,7 +11,8 @@ the matrix-multiplication engine.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Sequence, Set
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Iterator, Sequence, Set, Union
 
 import numpy as np
 
@@ -21,7 +22,13 @@ from repro.exceptions import (
     SelfLoopError,
     UnknownVertexError,
 )
-from repro.graph.updates import EdgeUpdate, UpdateKind, _canonical_order
+from repro.graph.updates import (
+    EdgeUpdate,
+    UpdateBatch,
+    UpdateKind,
+    _canonical_first,
+    normalize_batch,
+)
 
 Vertex = Hashable
 
@@ -67,7 +74,7 @@ class DynamicGraph:
         """Iterate over all edges, each reported once in canonical order."""
         for u, neighbors in self._adjacency.items():
             for v in neighbors:
-                if _canonical_order(u, v)[0] == u:
+                if _canonical_first(u, v):
                     yield (u, v)
 
     def add_vertex(self, vertex: Vertex) -> None:
@@ -148,6 +155,70 @@ class DynamicGraph:
         for update in updates:
             self.apply(update)
 
+    # -- bulk updates --------------------------------------------------------
+    def insert_edges(self, edges: Iterable[tuple[Vertex, Vertex]]) -> int:
+        """Insert several edges at once, returning how many were inserted.
+
+        Equivalent to calling :meth:`insert_edge` per edge but with vertex
+        registration inlined, so repeated endpoints are not re-looked-up
+        through :meth:`add_vertex` on every call.
+        """
+        adjacency = self._adjacency
+        inserted = 0
+        for u, v in edges:
+            if u == v:
+                raise SelfLoopError(f"cannot insert self-loop at vertex {u!r}")
+            neighbors_u = adjacency.get(u)
+            if neighbors_u is None:
+                neighbors_u = set()
+                adjacency[u] = neighbors_u
+            neighbors_v = adjacency.get(v)
+            if neighbors_v is None:
+                neighbors_v = set()
+                adjacency[v] = neighbors_v
+            if v in neighbors_u:
+                raise DuplicateEdgeError(f"edge ({u!r}, {v!r}) is already present")
+            neighbors_u.add(v)
+            neighbors_v.add(u)
+            self._num_edges += 1
+            inserted += 1
+        return inserted
+
+    def delete_edges(self, edges: Iterable[tuple[Vertex, Vertex]]) -> int:
+        """Delete several edges at once, returning how many were deleted."""
+        adjacency = self._adjacency
+        deleted = 0
+        for u, v in edges:
+            neighbors = adjacency.get(u)
+            if neighbors is None or v not in neighbors:
+                raise MissingEdgeError(f"edge ({u!r}, {v!r}) is not present")
+            neighbors.remove(v)
+            adjacency[v].remove(u)
+            self._num_edges -= 1
+            deleted += 1
+        return deleted
+
+    def apply_batch(self, updates: Union[UpdateBatch, Iterable[EdgeUpdate]]) -> UpdateBatch:
+        """Apply a window of updates as one normalized batch.
+
+        Raw updates are normalized against the current edge set (cancelling
+        insert/delete pairs and validating consistency once per distinct edge);
+        an already-normalized :class:`UpdateBatch` is applied as-is.  Net
+        deletions are applied before net insertions.  Every vertex the raw
+        window touches is registered — even when its updates cancelled — so
+        the resulting graph (vertices included) matches a per-update replay.
+        Returns the batch that was applied.
+        """
+        if isinstance(updates, UpdateBatch):
+            batch = updates
+        else:
+            batch = normalize_batch(updates, self.has_edge)
+        for vertex in batch.touched_vertices:
+            self.add_vertex(vertex)
+        self.delete_edges(update.endpoints for update in batch.deletions)
+        self.insert_edges(update.endpoints for update in batch.insertions)
+        return batch
+
     # -- derived views -----------------------------------------------------
     def copy(self) -> "DynamicGraph":
         """An independent deep copy of the graph."""
@@ -158,11 +229,7 @@ class DynamicGraph:
 
     def degree_histogram(self) -> Dict[int, int]:
         """Map from degree value to the number of vertices with that degree."""
-        histogram: Dict[int, int] = {}
-        for neighbors in self._adjacency.values():
-            degree = len(neighbors)
-            histogram[degree] = histogram.get(degree, 0) + 1
-        return histogram
+        return dict(Counter(len(neighbors) for neighbors in self._adjacency.values()))
 
     def max_degree(self) -> int:
         """The maximum degree over all vertices (0 for an empty graph)."""
@@ -173,15 +240,19 @@ class DynamicGraph:
     def h_index(self) -> int:
         """The graph h-index: the largest ``h`` with ``h`` vertices of degree
         at least ``h`` (the parameter of Eppstein–Spiro dynamic counting,
-        mentioned in the paper's related work)."""
-        degrees = sorted(
-            (len(neighbors) for neighbors in self._adjacency.values()), reverse=True
-        )
+        mentioned in the paper's related work).
+
+        Computed from the degree histogram with an early exit: only the
+        distinct degree values down to the answer are visited, instead of
+        materializing and sorting the full per-vertex degree list.
+        """
+        histogram = Counter(len(neighbors) for neighbors in self._adjacency.values())
+        at_least = 0
         h = 0
-        for position, degree in enumerate(degrees, start=1):
-            if degree >= position:
-                h = position
-            else:
+        for degree in sorted(histogram, reverse=True):
+            at_least += histogram[degree]
+            h = max(h, min(degree, at_least))
+            if at_least >= degree:
                 break
         return h
 

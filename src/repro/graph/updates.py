@@ -10,6 +10,13 @@ module defines the small value types that represent those updates:
   ``C``, ``D`` of a 4-layered graph (Section 2.1).
 * :class:`UpdateStream` — an ordered, validated sequence of updates with a few
   convenience constructors used by the workload generators and the harness.
+* :class:`UpdateBatch` / :func:`normalize_batch` — a canonicalized window of
+  updates for the batched fast paths: insert/delete pairs on the same edge are
+  cancelled, consistency is validated once against a live-edge snapshot, and
+  the surviving net updates are ordered deletions-first so they can be applied
+  in bulk.  Replaying a normalized batch produces the same graph — and hence
+  the same 4-cycle count — as replaying the raw window, so counts are exact at
+  batch boundaries.
 
 All value types are immutable so they can be hashed, put in sets, and replayed
 any number of times.
@@ -18,10 +25,10 @@ any number of times.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Iterator, Optional, Sequence
 
-from repro.exceptions import InvalidUpdateError, SelfLoopError
+from repro.exceptions import ConfigurationError, InvalidUpdateError, SelfLoopError
 
 Vertex = Hashable
 
@@ -165,6 +172,160 @@ class LayeredEdgeUpdate:
         return cls(relation, left, right, UpdateKind.DELETE)
 
 
+@dataclass(frozen=True)
+class UpdateBatch:
+    """A canonicalized window of edge updates.
+
+    Produced by :func:`normalize_batch`.  The batch stores only the *net*
+    updates of the window — insert/delete pairs on the same edge cancel — split
+    into deletions and insertions.  Against the live-edge snapshot the window
+    was normalized for, every deletion targets a live edge and every insertion
+    an absent one, so the batch can be applied deletions-first without any
+    per-update validation, in any interleaving.
+
+    ``raw_size`` is the length of the original window (the number of logical
+    stream positions the batch consumes) and ``cancelled`` how many of those
+    raw updates annihilated each other.  ``touched_vertices`` covers **every**
+    vertex named by the raw window — including endpoints of cancelled pairs —
+    so consumers can reproduce the vertex registration a per-update replay
+    would have performed.
+    """
+
+    deletions: tuple[EdgeUpdate, ...]
+    insertions: tuple[EdgeUpdate, ...]
+    raw_size: int
+    cancelled: int = 0
+    touched_vertices: frozenset = field(default_factory=frozenset)
+
+    def __len__(self) -> int:
+        """Number of surviving net updates."""
+        return len(self.deletions) + len(self.insertions)
+
+    def __iter__(self) -> Iterator[EdgeUpdate]:
+        """Iterate the net updates in canonical order (deletions first)."""
+        yield from self.deletions
+        yield from self.insertions
+
+    def __bool__(self) -> bool:
+        return bool(self.deletions or self.insertions)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether every raw update was cancelled (the batch is a no-op)."""
+        return not (self.deletions or self.insertions)
+
+    @property
+    def num_insertions(self) -> int:
+        return len(self.insertions)
+
+    @property
+    def num_deletions(self) -> int:
+        return len(self.deletions)
+
+    def net_edge_delta(self) -> int:
+        """The change in the number of live edges after applying the batch."""
+        return len(self.insertions) - len(self.deletions)
+
+
+def simulate_window_presence(
+    updates: Iterable,
+    key_of: Callable,
+    is_key_live: Callable,
+    is_insert_of: Callable,
+    what: str,
+) -> tuple[dict, dict, list, int]:
+    """Shared first pass of batch normalization (edges *and* tuples).
+
+    Walks a raw window once, simulating per-key presence: each distinct key is
+    probed against the live snapshot exactly once (via ``is_key_live``), each
+    update is validated against the simulated state, and toggles are tracked.
+    Returns ``(initially, present, first_touch_order, raw_size)``; the caller
+    derives net deletions (initially live, finally absent) and net insertions
+    (initially absent, finally live) from the first two maps.
+
+    Raises :class:`InvalidUpdateError` on an insertion of a present key or a
+    deletion of an absent one, accounting for earlier updates in the window;
+    ``what`` names the key kind in the error message.
+    """
+    initially: dict = {}
+    present: dict = {}
+    order: list = []
+    raw_size = 0
+    for position, update in enumerate(updates):
+        raw_size += 1
+        key = key_of(update)
+        live = present.get(key)
+        if live is None:
+            live = bool(is_key_live(key))
+            initially[key] = live
+            order.append(key)
+        if is_insert_of(update):
+            if live:
+                raise InvalidUpdateError(
+                    f"batch update #{position} inserts {what} {key} which is already present"
+                )
+            present[key] = True
+        else:
+            if not live:
+                raise InvalidUpdateError(
+                    f"batch update #{position} deletes {what} {key} which is not present"
+                )
+            present[key] = False
+    return initially, present, order, raw_size
+
+
+def normalize_batch(
+    updates: Iterable[EdgeUpdate],
+    is_edge_live: Optional[Callable[[Vertex, Vertex], bool]] = None,
+) -> UpdateBatch:
+    """Canonicalize a window of updates against a live-edge snapshot.
+
+    ``is_edge_live`` answers membership queries against the graph state the
+    window will be applied to (e.g. ``DynamicGraph.has_edge``); ``None`` means
+    an empty graph.  Each distinct edge is probed at most once — validation is
+    amortized across the window instead of paid per update.
+
+    Raises :class:`InvalidUpdateError` if the window is inconsistent (an
+    insertion of a present edge or a deletion of an absent one, accounting for
+    earlier updates in the same window).
+    """
+
+    def key_of(update) -> tuple[Vertex, Vertex]:
+        if not isinstance(update, EdgeUpdate):
+            raise InvalidUpdateError(
+                f"batch elements must be EdgeUpdate, got {type(update).__name__}"
+            )
+        return update.endpoints
+
+    initially, present, order, raw_size = simulate_window_presence(
+        updates,
+        key_of,
+        (lambda key: is_edge_live(key[0], key[1])) if is_edge_live is not None else lambda key: False,
+        lambda update: update.is_insert,
+        "edge",
+    )
+    deletions: list[EdgeUpdate] = []
+    insertions: list[EdgeUpdate] = []
+    touched: set[Vertex] = set()
+    for key in order:
+        touched.update(key)
+        before, after = initially[key], present[key]
+        if before == after:
+            continue
+        if after:
+            insertions.append(EdgeUpdate(key[0], key[1], UpdateKind.INSERT))
+        else:
+            deletions.append(EdgeUpdate(key[0], key[1], UpdateKind.DELETE))
+    net = len(deletions) + len(insertions)
+    return UpdateBatch(
+        deletions=tuple(deletions),
+        insertions=tuple(insertions),
+        raw_size=raw_size,
+        cancelled=raw_size - net,
+        touched_vertices=frozenset(touched),
+    )
+
+
 class UpdateStream(Sequence[EdgeUpdate]):
     """An ordered sequence of :class:`EdgeUpdate` objects.
 
@@ -244,6 +405,18 @@ class UpdateStream(Sequence[EdgeUpdate]):
         """The first ``length`` updates as a new stream."""
         return UpdateStream(self._updates[:length])
 
+    def batched(self, batch_size: int) -> Iterator["UpdateStream"]:
+        """Split the stream into consecutive windows of ``batch_size`` updates.
+
+        The last window may be shorter.  Each window is a plain (raw) stream;
+        normalization against the live graph happens at apply time, inside the
+        consumer's ``apply_batch``.
+        """
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        for start in range(0, len(self._updates), batch_size):
+            yield UpdateStream(self._updates[start:start + batch_size])
+
     def insertions_only(self) -> "UpdateStream":
         """A stream containing only the insertion updates, in order."""
         return UpdateStream(update for update in self._updates if update.is_insert)
@@ -312,17 +485,18 @@ class UpdateStream(Sequence[EdgeUpdate]):
         return True
 
 
-def _canonical_order(u: Vertex, v: Vertex) -> tuple[Vertex, Vertex]:
-    """Order an endpoint pair deterministically.
+def _canonical_first(u: Vertex, v: Vertex) -> bool:
+    """Whether ``u`` comes first in the canonical order of the pair.
 
     Comparable values (the common case: integer or string vertex ids) are
     ordered by value; mixed or non-comparable labels fall back to ``repr``.
     """
     try:
-        if u <= v:  # type: ignore[operator]
-            return (u, v)
-        return (v, u)
+        return u <= v  # type: ignore[operator]
     except TypeError:
-        if repr(u) <= repr(v):
-            return (u, v)
-        return (v, u)
+        return repr(u) <= repr(v)
+
+
+def _canonical_order(u: Vertex, v: Vertex) -> tuple[Vertex, Vertex]:
+    """Order an endpoint pair deterministically (see :func:`_canonical_first`)."""
+    return (u, v) if _canonical_first(u, v) else (v, u)

@@ -40,12 +40,20 @@ def run_counter(
     counter: "DynamicFourCycleCounter",
     stream: UpdateStream,
     record_counts: bool = True,
+    batch_size: int = 1,
 ) -> RunResult:
     """Replay ``stream`` through ``counter`` and collect metrics.
 
     Per-update metrics are recorded here (rather than relying on the counter's
     own optional metrics) so any counter instance can be measured.
+
+    With ``batch_size > 1`` the stream is fed through the counter's
+    ``apply_batch`` fast path in windows of that size; one
+    :class:`~repro.instrumentation.metrics.UpdateRecord` is recorded per
+    window and ``counts`` holds the (exact) batch-boundary counts.
     """
+    if batch_size > 1:
+        return _run_counter_batched(counter, stream, batch_size, record_counts)
     metrics = UpdateMetrics()
     counts: List[int] = []
     for index, update in enumerate(stream):
@@ -61,6 +69,46 @@ def run_counter(
                 seconds=elapsed,
                 edge_count=counter.num_edges,
                 is_insert=update.is_insert,
+                categories=dict(spent.categories),
+            )
+        )
+        if record_counts:
+            counts.append(count)
+    return RunResult(
+        counter_name=counter.name,
+        stream_length=len(stream),
+        final_count=counter.count,
+        final_edge_count=counter.num_edges,
+        counts=counts,
+        metrics=metrics,
+    )
+
+
+def _run_counter_batched(
+    counter: "DynamicFourCycleCounter",
+    stream: UpdateStream,
+    batch_size: int,
+    record_counts: bool,
+) -> RunResult:
+    """Batched replay: one metrics record and one count per window."""
+    metrics = UpdateMetrics()
+    counts: List[int] = []
+    for index, window in enumerate(stream.batched(batch_size)):
+        before_ops = counter.cost.snapshot()
+        edges_before = counter.num_edges
+        started = time.perf_counter()
+        count = counter.apply_batch(window)
+        elapsed = time.perf_counter() - started
+        spent = counter.cost.snapshot().diff(before_ops)
+        metrics.record(
+            UpdateRecord(
+                index=index,
+                operations=spent.total,
+                seconds=elapsed,
+                edge_count=counter.num_edges,
+                # Same labeling rule as the counter's own per-batch record:
+                # a batch counts as "insert" when its net edge delta is >= 0.
+                is_insert=counter.num_edges >= edges_before,
                 categories=dict(spent.categories),
             )
         )
@@ -140,11 +188,13 @@ def compare_counters(
     counter_names: Sequence[str],
     stream: UpdateStream,
     counter_kwargs: Optional[Dict[str, dict]] = None,
+    batch_size: int = 1,
 ) -> Dict[str, RunResult]:
     """Replay the same stream through several registry counters.
 
     Returns a mapping from counter name to its :class:`RunResult`; all final
-    counts are additionally cross-checked against each other.
+    counts are additionally cross-checked against each other.  ``batch_size``
+    selects the batched pipeline (see :func:`run_counter`).
     """
     from repro.core.registry import create_counter
 
@@ -153,7 +203,7 @@ def compare_counters(
     final_counts = set()
     for name in counter_names:
         counter = create_counter(name, **counter_kwargs.get(name, {}))
-        result = run_counter(counter, stream)
+        result = run_counter(counter, stream, batch_size=batch_size)
         results[name] = result
         final_counts.add(result.final_count)
     if len(final_counts) > 1:

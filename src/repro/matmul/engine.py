@@ -31,7 +31,7 @@ instrumentation layer uses to account matrix work against the phase budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Iterable, Iterator, Mapping, Optional
+from typing import Callable, Dict, Hashable, Iterable, Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -169,13 +169,34 @@ class CountMatrix:
 
     @classmethod
     def from_dense(
-        cls, dense: np.ndarray, row_order: list[Label], column_order: list[Label]
+        cls,
+        dense: np.ndarray,
+        row_order: Sequence[Label],
+        column_order: Optional[Sequence[Label]] = None,
     ) -> "CountMatrix":
-        """Build a sparse matrix from a dense array and its label orders."""
+        """Build a sparse matrix from a dense array and its label orders.
+
+        ``column_order`` defaults to ``row_order`` (square matrices).  Rows
+        are populated directly from the nonzero mask in one pass, so the
+        batched counters can promote a vectorized rebuild into the
+        label-indexed representation without per-entry ``add`` overhead.
+        """
+        if column_order is None:
+            column_order = row_order
         result = cls()
         nonzero_rows, nonzero_columns = np.nonzero(dense)
-        for i, j in zip(nonzero_rows.tolist(), nonzero_columns.tolist()):
-            result.add(row_order[i], column_order[j], int(dense[i, j]))
+        values = dense[nonzero_rows, nonzero_columns]
+        rows = result._rows
+        for i, j, value in zip(
+            nonzero_rows.tolist(), nonzero_columns.tolist(), values.tolist()
+        ):
+            row_label = row_order[i]
+            row_map = rows.get(row_label)
+            if row_map is None:
+                row_map = {}
+                rows[row_label] = row_map
+            row_map[column_order[j]] = int(value)
+        result._nnz = int(len(values))
         return result
 
     @classmethod

@@ -1,6 +1,7 @@
 """Synthetic workload generators for graphs and joins."""
 
 from repro.workloads.generators import (
+    batched_stream_catalogue,
     complete_bipartite_stream,
     erdos_renyi_stream,
     hub_adversarial_stream,
@@ -11,6 +12,7 @@ from repro.workloads.generators import (
 )
 from repro.workloads.join_workloads import (
     JOIN_RELATIONS,
+    batched_join_workload,
     figure_one_workload,
     random_join_workload,
     skewed_join_workload,
@@ -24,8 +26,10 @@ __all__ = [
     "mixed_churn_stream",
     "complete_bipartite_stream",
     "stream_catalogue",
+    "batched_stream_catalogue",
     "random_join_workload",
     "skewed_join_workload",
     "figure_one_workload",
+    "batched_join_workload",
     "JOIN_RELATIONS",
 ]

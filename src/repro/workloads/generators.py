@@ -286,6 +286,23 @@ def _random_absent_edge(
     return None
 
 
+def batched_stream_catalogue(
+    batch_size: int, scale: int = 1, seed: int = 0
+) -> dict[str, list[UpdateStream]]:
+    """The :func:`stream_catalogue` workloads pre-split into batch windows.
+
+    Each stream is materialized as the list of its ``batch_size`` windows (via
+    :meth:`~repro.graph.updates.UpdateStream.batched`), the shape a counter's
+    ``apply_batch`` pipeline consumes — a convenience for callers that want
+    the whole catalogue batched without threading window sizes through their
+    own code.
+    """
+    return {
+        name: list(stream.batched(batch_size))
+        for name, stream in stream_catalogue(scale=scale, seed=seed).items()
+    }
+
+
 def stream_catalogue(scale: int = 1, seed: int = 0) -> dict[str, UpdateStream]:
     """A small named collection of streams at a given scale, used by tests and
     the cross-validation experiment (E4)."""

@@ -117,6 +117,19 @@ def skewed_join_workload(
     return updates
 
 
+def batched_join_workload(
+    updates: List[TupleUpdate], batch_size: int
+) -> List[List[TupleUpdate]]:
+    """Split a tuple-update workload into consecutive windows of ``batch_size``.
+
+    The windows feed :meth:`repro.db.ivm.CyclicJoinCountView.apply_batch`; the
+    last window may be shorter.
+    """
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+    return [updates[start:start + batch_size] for start in range(0, len(updates), batch_size)]
+
+
 def figure_one_workload() -> List[TupleUpdate]:
     """The worked example of the paper's Figure 1 as an insertion stream.
 

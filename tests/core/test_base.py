@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.core.brute_force import BruteForceCounter
-from repro.exceptions import DuplicateEdgeError, MissingEdgeError, SelfLoopError
+from repro.exceptions import (
+    DuplicateEdgeError,
+    InvalidUpdateError,
+    MissingEdgeError,
+    SelfLoopError,
+)
 from repro.graph.updates import EdgeUpdate, UpdateStream
 
 from tests.conftest import k4_edges, square_edges
@@ -90,3 +95,57 @@ class TestMetricsRecording:
         counter = BruteForceCounter()
         result = counter.apply(EdgeUpdate.insert(1, 2))
         assert result == 0 == counter.count
+
+
+class TestApplyBatch:
+    def test_batch_returns_boundary_count(self, any_counter):
+        stream = UpdateStream.from_edges(k4_edges())
+        assert any_counter.apply_batch(stream) == 3
+        assert any_counter.is_consistent()
+
+    def test_batch_advances_updates_processed_by_raw_size(self, any_counter):
+        window = [
+            EdgeUpdate.insert(1, 2),
+            EdgeUpdate.delete(1, 2),
+            EdgeUpdate.insert(2, 3),
+        ]
+        any_counter.apply_batch(window)
+        assert any_counter.updates_processed == 3
+        assert any_counter.num_edges == 1
+
+    def test_empty_batch_is_noop(self, any_counter):
+        any_counter.insert_edge(1, 2)
+        assert any_counter.apply_batch([]) == any_counter.count
+        # An empty window consumes zero stream positions.
+        assert any_counter.updates_processed == 1
+        assert any_counter.num_edges == 1
+
+    def test_batch_metrics_recorded_once_per_batch(self):
+        counter = BruteForceCounter(record_metrics=True)
+        stream = UpdateStream.from_edges(k4_edges())
+        for window in stream.batched(3):
+            counter.apply_batch(window)
+        assert counter.metrics is not None
+        assert len(counter.metrics) == 2
+
+    def test_inconsistent_batch_rejected_without_state_change(self, any_counter):
+        any_counter.insert_edge(1, 2)
+        with pytest.raises(InvalidUpdateError):
+            any_counter.apply_batch([EdgeUpdate.insert(2, 1)])
+        assert any_counter.num_edges == 1
+
+    def test_process_stream_batched(self, any_counter):
+        stream = UpdateStream.from_edges(k4_edges())
+        counts = any_counter.process_stream_batched(stream, batch_size=2)
+        assert len(counts) == 3
+        assert counts[-1] == 3
+
+    def test_fast_path_engages_above_threshold(self):
+        # A window at least as large as the threshold must route through the
+        # brute-force recount hook instead of the per-update replay.
+        counter = BruteForceCounter()
+        size = counter.batch_fast_path_threshold
+        edges = [(0, i) for i in range(1, size + 1)]
+        counter.apply_batch(UpdateStream.from_edges(edges))
+        assert counter.cost.get("batch_recount") > 0
+        assert counter.is_consistent()

@@ -7,11 +7,11 @@ import random
 import pytest
 
 from repro.core.oracles import PhaseThreePathOracle
-from repro.db.ivm import CyclicJoinCountView, TupleUpdate
+from repro.db.ivm import CyclicJoinCountView, TupleUpdate, normalize_tuple_updates
 from repro.db.join import count_cyclic_join, count_two_hop_join, relations_to_layered_graph
 from repro.db.relation import Relation
 from repro.db.schema import RelationSchema, four_cycle_schemas
-from repro.exceptions import SchemaError
+from repro.exceptions import InvalidUpdateError, SchemaError
 from repro.workloads.join_workloads import (
     figure_one_workload,
     random_join_workload,
@@ -137,3 +137,98 @@ class TestCyclicJoinCountView:
     def test_tuple_update_constructors(self):
         assert TupleUpdate.insert("A", 1, 2).is_insert
         assert not TupleUpdate.delete("A", 1, 2).is_insert
+
+
+class TestTupleBatch:
+    def test_normalize_groups_per_relation(self):
+        batch = normalize_tuple_updates(
+            [
+                TupleUpdate.insert("A", 1, 2),
+                TupleUpdate.insert("B", 2, 3),
+                TupleUpdate.insert("A", 5, 6),
+            ]
+        )
+        assert batch.relations == ("A", "B")
+        groups = list(batch.groups())
+        assert groups[0][0] == "A"
+        assert len(groups[0][2]) == 2  # two A insertions
+        assert batch.raw_size == 3
+        assert batch.cancelled == 0
+
+    def test_insert_delete_pair_cancels(self):
+        batch = normalize_tuple_updates(
+            [TupleUpdate.insert("A", 1, 2), TupleUpdate.delete("A", 1, 2)]
+        )
+        assert batch.is_empty
+        assert batch.cancelled == 2
+
+    def test_deletions_ordered_before_insertions_within_relation(self):
+        batch = normalize_tuple_updates(
+            [TupleUpdate.insert("A", 1, 2), TupleUpdate.delete("A", 3, 4)],
+            lambda relation, left, right: (left, right) == (3, 4),
+        )
+        kinds = [update.is_insert for update in batch]
+        assert kinds == [False, True]
+
+    def test_inconsistent_window_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            normalize_tuple_updates([TupleUpdate.delete("A", 1, 2)])
+        with pytest.raises(InvalidUpdateError):
+            normalize_tuple_updates(
+                [TupleUpdate.insert("A", 1, 2)],
+                lambda relation, left, right: True,
+            )
+
+
+class TestViewApplyBatch:
+    def test_batch_matches_sequential_replay(self):
+        workload = random_join_workload(6, 200, seed=13)
+        sequential = CyclicJoinCountView()
+        sequential.apply_all(workload)
+        batched = CyclicJoinCountView()
+        for start in range(0, len(workload), 32):
+            batched.apply_batch(workload[start:start + 32])
+        assert batched.count == sequential.count
+        assert batched.is_consistent()
+        assert batched.updates_processed == len(workload)
+
+    def test_batch_on_renamed_schemas(self):
+        schemas = (
+            RelationSchema("Orders", "customer", "item"),
+            RelationSchema("Parts", "item", "supplier"),
+            RelationSchema("Offers", "supplier", "region"),
+            RelationSchema("Coverage", "region", "customer"),
+        )
+        view = CyclicJoinCountView(schemas=schemas)
+        count = view.apply_batch(
+            [
+                TupleUpdate.insert("Orders", "alice", "widget"),
+                TupleUpdate.insert("Parts", "widget", "acme"),
+                TupleUpdate.insert("Offers", "acme", "emea"),
+                TupleUpdate.insert("Coverage", "emea", "alice"),
+            ]
+        )
+        assert count == 1
+        assert view.is_consistent()
+
+    def test_batch_unknown_relation_rejected(self):
+        view = CyclicJoinCountView()
+        with pytest.raises(SchemaError):
+            view.apply_batch([TupleUpdate.insert("X", 1, 2)])
+
+    def test_batch_cancellation_is_noop(self):
+        view = CyclicJoinCountView()
+        view.insert("A", 1, 2)
+        before = view.count
+        view.apply_batch(
+            [
+                TupleUpdate.delete("A", 1, 2),
+                TupleUpdate.insert("A", 1, 2),
+                TupleUpdate.insert("B", 7, 8),
+                TupleUpdate.delete("B", 7, 8),
+            ]
+        )
+        assert view.count == before
+        assert view.relation("A").size == 1
+        assert view.relation("B").size == 0
+        assert view.updates_processed == 5

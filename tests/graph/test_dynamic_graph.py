@@ -7,7 +7,7 @@ import pytest
 
 from repro.exceptions import DuplicateEdgeError, MissingEdgeError, SelfLoopError, UnknownVertexError
 from repro.graph.dynamic_graph import DynamicGraph
-from repro.graph.updates import EdgeUpdate, UpdateStream
+from repro.graph.updates import EdgeUpdate, UpdateStream, _canonical_order, normalize_batch
 
 from tests.conftest import k4_edges, square_edges
 
@@ -128,3 +128,122 @@ class TestDerivedViews:
         graph = DynamicGraph(edges=[(1, 2)])
         assert 1 in graph and 3 not in graph
         assert len(graph) == 2
+
+
+class TestBulkUpdates:
+    def test_insert_edges_bulk(self):
+        graph = DynamicGraph()
+        assert graph.insert_edges(k4_edges()) == 6
+        assert graph.num_edges == 6
+        assert graph.num_vertices == 4
+
+    def test_insert_edges_duplicate_rejected_midway(self):
+        graph = DynamicGraph()
+        with pytest.raises(DuplicateEdgeError):
+            graph.insert_edges([(1, 2), (2, 3), (2, 1)])
+        # Edge count stays consistent with what was actually applied.
+        assert graph.num_edges == 2
+
+    def test_insert_edges_self_loop_rejected(self):
+        graph = DynamicGraph()
+        with pytest.raises(SelfLoopError):
+            graph.insert_edges([(1, 1)])
+
+    def test_delete_edges_bulk(self):
+        graph = DynamicGraph(edges=k4_edges())
+        assert graph.delete_edges([(0, 1), (2, 3)]) == 2
+        assert graph.num_edges == 4
+        assert not graph.has_edge(0, 1)
+
+    def test_delete_edges_missing_rejected(self):
+        graph = DynamicGraph(edges=[(1, 2)])
+        with pytest.raises(MissingEdgeError):
+            graph.delete_edges([(1, 2), (3, 4)])
+
+    def test_apply_batch_normalizes_and_applies(self):
+        graph = DynamicGraph(edges=[(1, 2), (2, 3)])
+        batch = graph.apply_batch(
+            [
+                EdgeUpdate.delete(1, 2),
+                EdgeUpdate.insert(3, 4),
+                EdgeUpdate.insert(1, 2),
+                EdgeUpdate.delete(1, 2),  # net: (1,2) deleted, (3,4) inserted
+            ]
+        )
+        assert graph.to_edge_set() == {(2, 3), (3, 4)}
+        assert batch.raw_size == 4
+        assert batch.cancelled == 2
+
+    def test_apply_batch_matches_apply_all(self):
+        updates = [
+            EdgeUpdate.insert(1, 2),
+            EdgeUpdate.insert(2, 3),
+            EdgeUpdate.insert(1, 3),
+            EdgeUpdate.delete(2, 3),
+        ]
+        sequential = DynamicGraph()
+        sequential.apply_all(updates)
+        batched = DynamicGraph()
+        batched.apply_batch(updates)
+        assert batched.to_edge_set() == sequential.to_edge_set()
+
+    def test_apply_batch_accepts_prenormalized_batch(self):
+        graph = DynamicGraph()
+        batch = normalize_batch([EdgeUpdate.insert(1, 2)])
+        graph.apply_batch(batch)
+        assert graph.has_edge(1, 2)
+
+
+class TestDegreeStatisticsFastPaths:
+    def test_degree_histogram_counts(self):
+        graph = DynamicGraph(edges=[(1, 2), (2, 3), (2, 4)])
+        assert graph.degree_histogram() == {1: 3, 3: 1}
+
+    def test_h_index_examples(self):
+        assert DynamicGraph().h_index() == 0
+        star = DynamicGraph(edges=[(0, i) for i in range(1, 6)])
+        assert star.h_index() == 1
+        k4 = DynamicGraph(edges=k4_edges())
+        assert k4.h_index() == 3
+
+    def test_h_index_matches_sorted_definition(self):
+        import random as _random
+
+        rng = _random.Random(9)
+        graph = DynamicGraph()
+        for _ in range(60):
+            u, v = rng.randrange(18), rng.randrange(18)
+            if u != v and not graph.has_edge(u, v):
+                graph.insert_edge(u, v)
+        degrees = sorted((graph.degree(v) for v in graph.vertices()), reverse=True)
+        expected = 0
+        for position, degree in enumerate(degrees, start=1):
+            if degree >= position:
+                expected = position
+            else:
+                break
+        assert graph.h_index() == expected
+
+    def test_edges_canonical_with_mixed_labels(self):
+        graph = DynamicGraph(edges=[("a", 1), (1, 2)])
+        assert set(graph.edges()) == {_canonical_order("a", 1), (1, 2)}
+
+
+class TestBatchVertexRegistration:
+    def test_cancelled_pair_still_registers_vertices(self):
+        graph = DynamicGraph()
+        graph.apply_batch([EdgeUpdate.insert(5, 6), EdgeUpdate.delete(5, 6)])
+        assert graph.num_edges == 0
+        assert graph.has_vertex(5) and graph.has_vertex(6)
+
+    def test_batch_vertex_set_matches_sequential_replay(self):
+        updates = [
+            EdgeUpdate.insert(1, 2),
+            EdgeUpdate.insert(3, 4),
+            EdgeUpdate.delete(3, 4),
+        ]
+        sequential = DynamicGraph()
+        sequential.apply_all(updates)
+        batched = DynamicGraph()
+        batched.apply_batch(updates)
+        assert set(batched.vertices()) == set(sequential.vertices())

@@ -4,8 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import InvalidUpdateError
-from repro.graph.updates import EdgeUpdate, LayeredEdgeUpdate, UpdateKind, UpdateStream
+from repro.exceptions import ConfigurationError, InvalidUpdateError
+from repro.graph.updates import (
+    EdgeUpdate,
+    LayeredEdgeUpdate,
+    UpdateKind,
+    UpdateStream,
+    normalize_batch,
+)
 
 
 class TestUpdateKind:
@@ -133,3 +139,81 @@ class TestUpdateStream:
         stream = UpdateStream()
         stream.extend([EdgeUpdate.insert(1, 2), EdgeUpdate.insert(2, 3)])
         assert len(stream) == 2
+
+
+class TestUpdateBatch:
+    def test_normalize_orders_deletions_first(self):
+        live = {(1, 2), (2, 3)}
+        batch = normalize_batch(
+            [EdgeUpdate.insert(3, 4), EdgeUpdate.delete(1, 2)],
+            lambda u, v: (u, v) in live,
+        )
+        assert [update.kind for update in batch] == [UpdateKind.DELETE, UpdateKind.INSERT]
+        assert batch.num_deletions == 1
+        assert batch.num_insertions == 1
+        assert batch.raw_size == 2
+        assert batch.cancelled == 0
+        assert batch.net_edge_delta() == 0
+        assert batch.touched_vertices == {1, 2, 3, 4}
+
+    def test_insert_delete_pair_cancels(self):
+        batch = normalize_batch([EdgeUpdate.insert(1, 2), EdgeUpdate.delete(1, 2)])
+        assert batch.is_empty
+        assert len(batch) == 0
+        assert batch.raw_size == 2
+        assert batch.cancelled == 2
+
+    def test_delete_insert_pair_on_live_edge_cancels(self):
+        batch = normalize_batch(
+            [EdgeUpdate.delete(1, 2), EdgeUpdate.insert(1, 2)],
+            lambda u, v: True,
+        )
+        assert batch.is_empty
+        assert batch.cancelled == 2
+
+    def test_repeated_toggles_reduce_to_net_update(self):
+        updates = [
+            EdgeUpdate.insert(1, 2),
+            EdgeUpdate.delete(1, 2),
+            EdgeUpdate.insert(1, 2),
+        ]
+        batch = normalize_batch(updates)
+        assert len(batch) == 1
+        assert batch.insertions[0] == EdgeUpdate.insert(1, 2)
+        assert batch.cancelled == 2
+
+    def test_duplicate_insert_rejected_against_snapshot(self):
+        with pytest.raises(InvalidUpdateError):
+            normalize_batch([EdgeUpdate.insert(1, 2)], lambda u, v: True)
+
+    def test_missing_delete_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            normalize_batch([EdgeUpdate.delete(1, 2)])
+
+    def test_duplicate_insert_within_window_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            normalize_batch([EdgeUpdate.insert(1, 2), EdgeUpdate.insert(2, 1)])
+
+    def test_non_update_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            normalize_batch(["nope"])  # type: ignore[list-item]
+
+
+class TestStreamBatched:
+    def test_windows_cover_stream_in_order(self):
+        stream = UpdateStream.from_edges([(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)])
+        windows = list(stream.batched(2))
+        assert [len(window) for window in windows] == [2, 2, 1]
+        recombined = [update for window in windows for update in window]
+        assert recombined == list(stream)
+
+    def test_whole_stream_is_one_window(self):
+        stream = UpdateStream.from_edges([(1, 2), (2, 3)])
+        windows = list(stream.batched(10))
+        assert len(windows) == 1
+        assert windows[0] == stream
+
+    def test_batch_size_must_be_positive(self):
+        stream = UpdateStream.from_edges([(1, 2)])
+        with pytest.raises(ConfigurationError):
+            list(stream.batched(0))

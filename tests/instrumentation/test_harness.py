@@ -92,3 +92,29 @@ class TestCompareCounters:
         rendered = format_table(rows)
         assert "brute-force" in rendered and "wedge" in rendered
         assert format_table([]) == "(no rows)"
+
+
+class TestBatchedRun:
+    def test_batched_run_matches_unbatched_final_state(self):
+        stream = random_dynamic_stream(num_vertices=12, num_updates=96, seed=21)
+        unbatched = run_counter(create_counter("wedge"), stream)
+        batched = run_counter(create_counter("wedge"), stream, batch_size=16)
+        assert batched.final_count == unbatched.final_count
+        assert batched.final_edge_count == unbatched.final_edge_count
+        assert batched.stream_length == len(stream)
+        # One metrics record and one count per window.
+        assert len(batched.metrics) == 6
+        assert len(batched.counts) == 6
+        assert batched.counts[-1] == unbatched.counts[-1]
+
+    def test_batched_counts_are_boundary_counts(self):
+        stream = random_dynamic_stream(num_vertices=10, num_updates=60, seed=3)
+        unbatched = run_counter(create_counter("brute-force"), stream)
+        batched = run_counter(create_counter("brute-force"), stream, batch_size=20)
+        assert batched.counts == unbatched.counts[19::20]
+
+    def test_compare_counters_batched(self):
+        stream = random_dynamic_stream(num_vertices=10, num_updates=64, seed=5)
+        results = compare_counters(["brute-force", "wedge"], stream, batch_size=32)
+        finals = {result.final_count for result in results.values()}
+        assert len(finals) == 1

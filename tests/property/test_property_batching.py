@@ -1,0 +1,88 @@
+"""Property tests for the batched update pipeline.
+
+The central invariant of the batch refactor: **for any consistent stream,
+batched and unbatched processing yield identical counts** — at every batch
+boundary and at the end — for every registered counter and for the IVM view.
+The streams are random mixed insert/delete workloads and the batch sizes cover
+the per-update path (1), a small odd window (7), the fast-path regime (64) and
+a single whole-stream batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import available_counters, create_counter
+from repro.db.ivm import CyclicJoinCountView
+from repro.graph.updates import EdgeUpdate
+from repro.workloads.join_workloads import batched_join_workload, random_join_workload
+
+from tests.conftest import random_dynamic_stream
+
+STREAM_LENGTH = 160
+BATCH_SIZES = (1, 7, 64, STREAM_LENGTH)
+
+
+def boundary_indices(total: int, batch_size: int) -> list[int]:
+    """Stream positions at which batch boundaries fall (last update of each
+    window), as indices into the per-update count trajectory."""
+    return [min(start + batch_size, total) - 1 for start in range(0, total, batch_size)]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("name", sorted(available_counters()))
+def test_counter_batch_unbatch_equivalence(name, seed):
+    stream = random_dynamic_stream(num_vertices=14, num_updates=STREAM_LENGTH, seed=seed,
+                                   delete_fraction=0.35)
+    reference = create_counter(name)
+    trajectory = [reference.apply(update) for update in stream]
+    for batch_size in BATCH_SIZES:
+        counter = create_counter(name)
+        boundary_counts = [counter.apply_batch(window) for window in stream.batched(batch_size)]
+        expected = [trajectory[index] for index in boundary_indices(len(stream), batch_size)]
+        assert boundary_counts == expected, (
+            f"{name} diverged at batch size {batch_size}: {boundary_counts} != {expected}"
+        )
+        assert counter.count == reference.count
+        assert counter.updates_processed == len(stream)
+        # Full graph-state equivalence, vertex registration included (a
+        # cancelled pair must still register its endpoints).
+        assert counter.num_vertices == reference.num_vertices
+        assert counter.graph.to_edge_set() == reference.graph.to_edge_set()
+        assert counter.is_consistent()
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_ivm_view_batch_unbatch_equivalence(seed):
+    workload = random_join_workload(domain_size=8, num_updates=STREAM_LENGTH, seed=seed)
+    reference = CyclicJoinCountView()
+    trajectory = [reference.apply(update) for update in workload]
+    for batch_size in BATCH_SIZES:
+        view = CyclicJoinCountView()
+        boundary_counts = [
+            view.apply_batch(window) for window in batched_join_workload(workload, batch_size)
+        ]
+        expected = [trajectory[index] for index in boundary_indices(len(workload), batch_size)]
+        assert boundary_counts == expected
+        assert view.count == reference.count
+        assert view.updates_processed == len(workload)
+        assert view.is_consistent()
+
+
+@pytest.mark.parametrize("name", sorted(available_counters()))
+def test_counter_cancellation_within_batch(name):
+    """A window whose inserts and deletes annihilate is a no-op for the count."""
+    counter = create_counter(name)
+    counter.insert_edge(0, 1)
+    counter.insert_edge(1, 2)
+    counter.insert_edge(2, 3)
+    before = counter.count
+    window = [
+        EdgeUpdate.insert(0, 3),   # new edge ...
+        EdgeUpdate.delete(0, 3),   # ... cancelled
+        EdgeUpdate.delete(1, 2),   # existing edge removed ...
+        EdgeUpdate.insert(1, 2),   # ... and restored
+    ]
+    assert counter.apply_batch(window) == before
+    assert counter.updates_processed == 3 + len(window)
+    assert counter.is_consistent()

@@ -104,3 +104,26 @@ class TestValidation:
             sliding_window_stream(10, 10, window_size=0)
         with pytest.raises(ConfigurationError):
             complete_bipartite_stream(0, 3)
+
+
+class TestBatchedCatalogue:
+    def test_windows_recombine_to_catalogue_streams(self):
+        from repro.workloads.generators import batched_stream_catalogue, stream_catalogue
+
+        batched = batched_stream_catalogue(batch_size=32, seed=4)
+        plain = stream_catalogue(seed=4)
+        assert set(batched) == set(plain)
+        for name, windows in batched.items():
+            recombined = [update for window in windows for update in window]
+            assert recombined == list(plain[name])
+            assert all(len(window) <= 32 for window in windows)
+
+    def test_windows_drive_apply_batch(self):
+        from repro.core.registry import create_counter
+        from repro.workloads.generators import batched_stream_catalogue
+
+        windows = batched_stream_catalogue(batch_size=64, seed=1)["erdos-renyi"]
+        counter = create_counter("wedge")
+        for window in windows:
+            counter.apply_batch(window)
+        assert counter.is_consistent()
