@@ -12,7 +12,11 @@ agree — the batch/unbatch equivalence contract).
 
 from __future__ import annotations
 
-from repro.analysis import experiment_e10_batch_throughput, text_table
+from repro.analysis import (
+    experiment_e10_batch_throughput,
+    text_table,
+    write_bench_artifact,
+)
 from repro.core.registry import available_counters
 
 BATCH_SIZES = (1, 8, 64, 256)
@@ -34,6 +38,7 @@ def test_e10_batch_throughput(benchmark, report_sink):
         iterations=1,
     )
     report_sink.append(("E10 batch-pipeline throughput", text_table(rows, float_digits=2)))
+    write_bench_artifact("E10", {"batch_sizes": list(BATCH_SIZES)}, rows)
     # Every registered counter ran at every batch size, and stayed exact.
     assert {row.counter for row in rows} == set(available_counters())
     assert all(row.consistent for row in rows)

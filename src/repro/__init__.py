@@ -53,6 +53,7 @@ from repro.db import CyclicJoinCountView, TupleUpdate
 from repro.graph import (
     DynamicGraph,
     EdgeUpdate,
+    VertexInterner,
     LayeredGraph,
     UpdateBatch,
     UpdateKind,
@@ -81,6 +82,7 @@ __all__ = [
     "create_counter",
     "register_counter",
     "DynamicGraph",
+    "VertexInterner",
     "LayeredGraph",
     "EdgeUpdate",
     "UpdateKind",

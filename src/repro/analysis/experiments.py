@@ -22,16 +22,25 @@ The experiments:
 * **E9** — phase-length ablation for the phase/FMM counter.
 * **E10** — batched-pipeline throughput: updates/sec versus batch size for
   every registered counter, with batch/unbatch exactness checked at the end.
+* **E11** — kernel throughput: the integer-interned vectorized fast paths
+  (counter batch hooks, cached-CSR dense ``multiply_chain``, interned graph
+  microkernels) against the label-keyed scalar paths, with bit-identical
+  counts asserted across every variant.
 """
 
 from __future__ import annotations
+
+import random
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.registry import available_counters, create_counter
 from repro.db.ivm import CyclicJoinCountView
-from repro.instrumentation.harness import run_counter, run_validated
+from repro.exceptions import CounterStateError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.instrumentation.harness import run_counter, run_validated, time_replay
+from repro.matmul.engine import CountMatrix, DenseBackend, MatmulEngine
 from repro.instrumentation.metrics import fit_power_law
 from repro.theory.exponents import comparison_table, omega_sweep, update_time_exponent
 from repro.theory.parameters import (
@@ -488,8 +497,6 @@ def experiment_e10_batch_throughput(
     from-scratch recount, and all runs of a counter must agree — the
     batch/unbatch exactness contract, measured rather than assumed.
     """
-    import time
-
     stream = erdos_renyi_stream(num_vertices, num_updates, seed=seed)
     names = sorted(counters if counters is not None else available_counters())
     rows: List[BatchThroughputRow] = []
@@ -498,14 +505,7 @@ def experiment_e10_batch_throughput(
         final_counts = set()
         for batch_size in batch_sizes:
             counter = create_counter(name)
-            started = time.perf_counter()
-            if batch_size <= 1:
-                for update in stream:
-                    counter.apply(update)
-            else:
-                for window in stream.batched(batch_size):
-                    counter.apply_batch(window)
-            elapsed = max(time.perf_counter() - started, 1e-9)
+            elapsed = max(time_replay(counter, stream, batch_size=batch_size), 1e-9)
             if batch_size <= 1:
                 unbatched_seconds = elapsed
             # NaN when the sweep has no batch-size-1 baseline to compare with.
@@ -527,4 +527,220 @@ def experiment_e10_batch_throughput(
             raise AssertionError(
                 f"counter {name!r} final counts diverged across batch sizes: {final_counts}"
             )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E11 — interned/vectorized kernel throughput
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelThroughputRow:
+    """Throughput of one kernel variant.
+
+    ``variant`` is ``scalar`` (label-keyed code, interning disabled — the seed
+    implementation), ``scalar-batch`` (the batch pipeline without interning)
+    or ``vectorized`` (the interned numpy fast path).  ``per_second`` counts
+    updates for the counter kernels and matrix products for the multiply
+    kernel; ``speedup_vs_scalar`` is relative to the ``scalar`` variant of the
+    same kernel.  ``exact`` records the count/result identity check — it must
+    be true on every row, timing never excuses a wrong answer.
+    """
+
+    kernel: str
+    variant: str
+    parameters: str
+    operations: int
+    seconds: float
+    per_second: float
+    speedup_vs_scalar: float
+    exact: bool
+
+
+def _random_count_matrix(
+    num_rows: int, num_columns: int, density: float, rng: random.Random
+) -> CountMatrix:
+    """A random integer matrix with string labels (realistic repr-sort cost)."""
+    matrix = CountMatrix()
+    for i in range(num_rows):
+        row = f"r{i:04d}"
+        for j in range(num_columns):
+            if rng.random() < density:
+                matrix.add(row, f"c{j:04d}", rng.randint(1, 5))
+    return matrix
+
+
+def experiment_e11_kernel_throughput(
+    num_vertices: int = 32,
+    num_updates: int = 2560,
+    batch_size: int = 256,
+    counters: Sequence[str] = ("wedge", "hhh22", "assadi-shah"),
+    chain_dimension: int = 160,
+    chain_length: int = 3,
+    chain_density: float = 0.25,
+    chain_repeats: int = 5,
+    seed: int = 0,
+) -> List[KernelThroughputRow]:
+    """E11: vectorized kernels versus the label-keyed scalar paths.
+
+    Two families of kernels are measured:
+
+    * **End-to-end counter batch paths** — the standard dense churn stream is
+      replayed through each counter three ways: per-update with interning
+      disabled (the seed scalar path), batched with interning disabled (the
+      seed batch path, where one existed), and batched with the interned
+      vectorized hooks.  All three must end with **bit-identical 4-cycle
+      counts**, each verified against a from-scratch recount; a mismatch
+      raises :class:`~repro.exceptions.CounterStateError` — the CI perf-smoke
+      job gates on that, not on timing.
+    * **Dense ``multiply_chain``** — a chain of random label-keyed matrices
+      multiplied on the dense backend with and without the cached interned
+      CSR export; the products must be identical matrices.
+
+    Returns one row per (kernel, variant); speedups are computed against the
+    scalar variant of the same kernel.
+    """
+    stream = erdos_renyi_stream(num_vertices, num_updates, seed=seed)
+    rows: List[KernelThroughputRow] = []
+    for name in counters:
+        variants = (
+            ("scalar", {"interned": False}, 1),
+            ("scalar-batch", {"interned": False}, batch_size),
+            ("vectorized", {"interned": True}, batch_size),
+        )
+        scalar_seconds: Optional[float] = None
+        final_counts: Dict[str, int] = {}
+        for variant, kwargs, size in variants:
+            counter = create_counter(name, **kwargs)
+            seconds = max(time_replay(counter, stream, batch_size=size), 1e-9)
+            if variant == "scalar":
+                scalar_seconds = seconds
+            if not counter.is_consistent():
+                raise CounterStateError(
+                    f"E11: counter {name!r} variant {variant!r} is inconsistent "
+                    f"with a from-scratch recount (count={counter.count})"
+                )
+            final_counts[variant] = counter.count
+            assert scalar_seconds is not None
+            rows.append(
+                KernelThroughputRow(
+                    kernel=f"{name}-updates",
+                    variant=variant,
+                    parameters=f"n={num_vertices} updates={num_updates} batch={size}",
+                    operations=len(stream),
+                    seconds=seconds,
+                    per_second=len(stream) / seconds,
+                    speedup_vs_scalar=scalar_seconds / seconds,
+                    exact=True,
+                )
+            )
+        if len(set(final_counts.values())) > 1:
+            raise CounterStateError(
+                f"E11: counter {name!r} counts diverged across paths: {final_counts}"
+            )
+    rows.extend(
+        _e11_multiply_chain_rows(
+            chain_dimension, chain_length, chain_density, chain_repeats, seed
+        )
+    )
+    rows.extend(_e11_graph_microkernel_rows(stream, seed))
+    return rows
+
+
+def _e11_multiply_chain_rows(
+    dimension: int, length: int, density: float, repeats: int, seed: int
+) -> List[KernelThroughputRow]:
+    """Dense ``multiply_chain`` with and without the cached CSR export."""
+    import time
+
+    rng = random.Random(seed + 1)
+    matrices = [
+        _random_count_matrix(dimension, dimension, density, rng) for _ in range(length)
+    ]
+    parameters = f"chain={length}x{dimension} density={density}"
+    results: Dict[str, CountMatrix] = {}
+    timings: Dict[str, float] = {}
+    for variant, use_cache in (("scalar", False), ("vectorized", True)):
+        engine = MatmulEngine(_dense=DenseBackend(use_csr_cache=use_cache))
+        started = time.perf_counter()
+        for _ in range(repeats):
+            # Fresh copies for the uncached variant would change the measured
+            # work; both variants multiply the same persistent operands, which
+            # is exactly the reuse pattern the CSR cache targets.
+            results[variant] = engine.multiply_chain(matrices, backend="dense")
+        timings[variant] = max(time.perf_counter() - started, 1e-9)
+    if results["scalar"] != results["vectorized"]:
+        raise CounterStateError("E11: dense multiply_chain results diverged across paths")
+    products = (length - 1) * repeats
+    return [
+        KernelThroughputRow(
+            kernel="multiply-chain-dense",
+            variant=variant,
+            parameters=parameters,
+            operations=products,
+            seconds=timings[variant],
+            per_second=products / timings[variant],
+            speedup_vs_scalar=timings["scalar"] / timings[variant],
+            exact=True,
+        )
+        for variant in ("scalar", "vectorized")
+    ]
+
+
+def _e11_graph_microkernel_rows(stream, seed: int) -> List[KernelThroughputRow]:
+    """Interned graph microkernels: common-neighbor scans and histograms.
+
+    Measured on composite (tuple) vertex labels — the case the interner
+    targets: tuples do not cache their hash, so every label-keyed set probe
+    re-hashes, while the interned path intersects integer-id sets and only
+    translates the (small) result.  The CSR view is warmed first, matching
+    the batched pipelines these kernels run inside (their hooks have just
+    exported it).
+    """
+    import time
+
+    num_pairs = 2000
+    histogram_repeats = 200
+    edges = sorted(
+        (("shard", u, u * u), ("shard", v, v * v)) for u, v in stream.final_edges()
+    )
+    rng = random.Random(seed + 2)
+    graphs = {
+        "scalar": DynamicGraph(edges=edges, interned=False),
+        "vectorized": DynamicGraph(edges=edges, interned=True),
+    }
+    graphs["vectorized"].csr_view()
+    vertices = sorted(graphs["vectorized"].vertices())
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(num_pairs)
+    ]
+    rows: List[KernelThroughputRow] = []
+    checks: Dict[str, int] = {}
+    timings: Dict[str, float] = {}
+    for variant, graph in graphs.items():
+        started = time.perf_counter()
+        total = 0
+        for u, v in pairs:
+            total += len(graph.common_neighbors(u, v))
+        for _ in range(histogram_repeats):
+            histogram = graph.degree_histogram()
+        timings[variant] = max(time.perf_counter() - started, 1e-9)
+        checks[variant] = total + sum(d * c for d, c in histogram.items())
+    if len(set(checks.values())) > 1:
+        raise CounterStateError(f"E11: graph microkernels diverged: {checks}")
+    operations = len(pairs) + histogram_repeats
+    for variant in ("scalar", "vectorized"):
+        rows.append(
+            KernelThroughputRow(
+                kernel="graph-microkernels",
+                variant=variant,
+                parameters=(
+                    f"pairs={len(pairs)} histograms={histogram_repeats} labels=tuple"
+                ),
+                operations=operations,
+                seconds=timings[variant],
+                per_second=operations / timings[variant],
+                speedup_vs_scalar=timings["scalar"] / timings[variant],
+                exact=True,
+            )
+        )
     return rows

@@ -11,6 +11,12 @@ Installed as ``repro-4cycles``.  Subcommands:
 * ``omega-sweep`` — print the update-time exponent as a function of omega (E8).
 * ``batch-throughput`` — measure updates/sec of the batch pipeline as a
   function of batch size for the selected counters (experiment E10).
+* ``bench`` — run the performance experiments (E10 batch throughput, E11
+  interned-kernel throughput) in one invocation, print their tables, and
+  write the machine-readable ``BENCH_E10.json``/``BENCH_E11.json`` artifacts.
+  ``--quick`` shrinks the workloads for CI smoke runs; exactness (identical
+  counts between scalar and vectorized paths) is always enforced — a mismatch
+  exits non-zero — while timing is reported, never gated.
 """
 
 from __future__ import annotations
@@ -107,6 +113,57 @@ def _command_batch_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Workload parameters for ``bench``: full profile and the CI ``--quick`` one.
+_BENCH_PROFILES = {
+    "full": {
+        "e10": {"num_vertices": 24, "num_updates": 1280, "batch_sizes": (1, 8, 64, 256)},
+        "e11": {"num_vertices": 32, "num_updates": 2560, "batch_size": 256},
+    },
+    "quick": {
+        "e10": {"num_vertices": 16, "num_updates": 384, "batch_sizes": (1, 64)},
+        "e11": {
+            "num_vertices": 20,
+            "num_updates": 768,
+            "batch_size": 64,
+            "chain_dimension": 64,
+            "chain_repeats": 2,
+        },
+    },
+}
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        experiment_e10_batch_throughput,
+        experiment_e11_kernel_throughput,
+        text_table,
+        write_bench_artifact,
+    )
+
+    profile = _BENCH_PROFILES["quick" if args.quick else "full"]
+    chosen = [name.strip().lower() for name in args.experiments.split(",") if name.strip()]
+    runners = {
+        "e10": ("E10", "batch-pipeline throughput", experiment_e10_batch_throughput),
+        "e11": ("E11", "interned kernel throughput", experiment_e11_kernel_throughput),
+    }
+    for name in chosen:
+        if name not in runners:
+            print(f"unknown experiment {name!r}; expected a subset of: e10,e11")
+            return 2
+    for name in chosen:
+        artifact_name, title, runner = runners[name]
+        params = dict(profile[name])
+        # Exactness between scalar and vectorized paths is asserted inside the
+        # experiments; a mismatch raises and exits non-zero.
+        rows = runner(**params)
+        path = write_bench_artifact(artifact_name, params, rows, directory=args.output_dir)
+        print(f"=== {artifact_name} {title} ===")
+        print(text_table(rows, float_digits=2))
+        print(f"wrote {path}")
+        print()
+    return 0
+
+
 def _command_omega_sweep(args: argparse.Namespace) -> int:
     omegas = [2.0 + args.step * index for index in range(int((3.0 - 2.0) / args.step) + 1)]
     print(f"{'omega':>8}  {'eps':>10}  {'delta':>10}  {'exponent':>10}  improves")
@@ -168,6 +225,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated counter names (default: all registered counters)",
     )
     throughput.set_defaults(handler=_command_batch_throughput)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the perf experiments (E10/E11) and write BENCH_E*.json artifacts",
+    )
+    bench.add_argument(
+        "--experiments",
+        default="e10,e11",
+        help="comma-separated subset of e10,e11 to run (default: both)",
+    )
+    bench.add_argument(
+        "--output-dir",
+        default=None,
+        help="artifact directory (default: REPRO_BENCH_DIR or the current directory)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small CI-smoke workloads; exactness still enforced, timing only reported",
+    )
+    bench.set_defaults(handler=_command_bench)
 
     return parser
 

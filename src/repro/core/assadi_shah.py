@@ -31,12 +31,17 @@ algorithm itself is implemented and tested separately in
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Optional, Set
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Set
+
+import numpy as np
 
 from repro.core.oracles import OracleBackedCounter, PhaseThreePathOracle
 from repro.instrumentation.cost_model import CostModel
-from repro.matmul.engine import CountMatrix
+from repro.matmul.engine import CountMatrix, exact_integer_matmul
 from repro.theory.parameters import solve_main_parameters
+
+if TYPE_CHECKING:  # typing only; avoids a runtime import cycle
+    from repro.graph.dynamic_graph import DynamicGraph
 
 Vertex = Hashable
 
@@ -167,6 +172,41 @@ class AssadiShahThreePathOracle(PhaseThreePathOracle):
         for y in touched_l3:
             self._observe_l3(y)
         super().end_batch()
+
+    def rebuild_from_mirrored_graph(
+        self,
+        graph: "DynamicGraph",
+        matrix: np.ndarray,
+        labels: List[Vertex],
+        square: Optional[np.ndarray] = None,
+    ) -> None:
+        """Bulk mirror rebuild: phase sync plus vectorized class structures.
+
+        After the phase-oracle rebuild, the degree classes are recomputed from
+        the interned degree vector (in the mirrored reduction every middle
+        layer's combined degree is ``2 deg``) and the Eq. (12) sparse-wedge
+        structures are rebuilt as one masked dense product
+        ``A . diag(sparse) . B`` — the same quantity Claim 5.3 maintains tuple
+        by tuple — instead of replaying per-update neighborhood scans.
+        """
+        super().rebuild_from_mirrored_graph(graph, matrix, labels, square)
+        m = max(self.num_edges, 1)
+        self._class_reference_m = m
+        threshold = self._dense_threshold()
+        combined_degrees = 2 * matrix.sum(axis=1)
+        dense_mask = combined_degrees >= 2.0 * threshold
+        dense_vertices = {labels[i] for i in np.nonzero(dense_mask)[0]}
+        self._dense_l2 = dense_vertices
+        self._dense_l3 = set(dense_vertices)
+        sparse_mask = ~dense_mask
+        # A . diag(sparse) . B with A = B = adjacency; the L2 and L3 sparse
+        # sets coincide in the mirrored reduction, so one product serves both
+        # structures (as independent copies — they are mutated separately).
+        wedges = exact_integer_matmul(matrix * sparse_mask, matrix)
+        self._wedges_a_sparse_b = CountMatrix.from_dense(wedges, labels)
+        self._wedges_b_sparse_c = self._wedges_a_sparse_b.copy()
+        n = matrix.shape[0]
+        self.cost.charge("batch_rebuild", n * n * n)
 
     def _maintain_sparse_wedges(self, position: int, left: Vertex, right: Vertex, sign: int) -> None:
         """On-the-fly maintenance of the Eq. (12) structures (Claim 5.3)."""
@@ -316,6 +356,7 @@ class AssadiShahCounter(OracleBackedCounter):
         delta: Optional[float] = None,
         min_phase_length: int = 16,
         record_metrics: bool = False,
+        interned: bool = True,
     ) -> None:
         oracle = AssadiShahThreePathOracle(
             phase_length=phase_length,
@@ -323,7 +364,7 @@ class AssadiShahCounter(OracleBackedCounter):
             delta=delta,
             min_phase_length=min_phase_length,
         )
-        super().__init__(oracle=oracle, record_metrics=record_metrics)
+        super().__init__(oracle=oracle, record_metrics=record_metrics, interned=interned)
 
     @property
     def main_oracle(self) -> AssadiShahThreePathOracle:

@@ -84,8 +84,13 @@ class DynamicFourCycleCounter(abc.ABC):
     #: rebuild-style fast paths pay an O(n^2)-ish fixed cost per batch).
     batch_fast_path_threshold: int = 32
 
-    def __init__(self, record_metrics: bool = False) -> None:
-        self._graph = DynamicGraph()
+    def __init__(self, record_metrics: bool = False, interned: bool = True) -> None:
+        #: ``interned=True`` (default) keeps the graph's integer-interned
+        #: representation live, which the batched ``_batch_hook`` fast paths
+        #: build their vectorized kernels on; ``interned=False`` forces every
+        #: path back to the label-keyed scalar code (the reference the
+        #: property tests compare against).
+        self._graph = DynamicGraph(interned=interned)
         self._count = 0
         self._updates_processed = 0
         self.cost = CostModel()

@@ -26,14 +26,20 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Dict, Hashable, Optional, Set
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Set
+
+import numpy as np
 
 from repro.core.base import DynamicFourCycleCounter
 from repro.exceptions import ConfigurationError, InvalidUpdateError
+from repro.graph.static_counts import four_cycles_from_adjacency
 from repro.instrumentation.cost_model import CostModel
-from repro.matmul.engine import CountMatrix
+from repro.matmul.engine import CountMatrix, exact_integer_matmul
 from repro.matmul.scheduler import ChainProductJob, PhaseScheduler
 from repro.theory.parameters import solve_main_parameters
+
+if TYPE_CHECKING:  # imported lazily to avoid a runtime cycle
+    from repro.graph.dynamic_graph import DynamicGraph
 
 Vertex = Hashable
 
@@ -139,6 +145,39 @@ class ThreePathOracle(abc.ABC):
         Exactness never depends on these checks running per update, only the
         amortized cost accounting does, so deferring them to the boundary is
         safe."""
+
+    def rebuild_from_mirrored_graph(
+        self,
+        graph: "DynamicGraph",
+        matrix: np.ndarray,
+        labels: List[Vertex],
+        square: Optional[np.ndarray] = None,
+    ) -> None:
+        """Reset the oracle to mirror ``graph`` under the Section 8 reduction.
+
+        The batched fast path of :class:`OracleBackedCounter` applies a whole
+        window to the graph in bulk and then calls this instead of replaying
+        the per-tuple hooks: all three chain relations are rebuilt to equal
+        the graph's adjacency (both orientations), and subclasses extend it to
+        rebuild their auxiliary structures with vectorized kernels over the
+        interned adjacency ``matrix`` (in ``labels`` order; ``square`` is
+        ``matrix @ matrix`` when the caller already has it).  Only valid in
+        the mirrored setting where ``A = B = C =`` the adjacency matrix.
+        """
+        del matrix, labels, square  # vectorized kernels live in subclasses
+        for position in CHAIN_POSITIONS:
+            relation = _ChainRelation()
+            # Forward and backward maps (and each relation) need independent
+            # sets: later per-tuple updates mutate them one direction and one
+            # relation at a time.
+            relation.forward = {
+                vertex: set(graph.neighbors(vertex)) for vertex in graph.vertices()
+            }
+            relation.backward = {
+                vertex: set(graph.neighbors(vertex)) for vertex in graph.vertices()
+            }
+            relation.size = 2 * graph.num_edges
+            self._relations[position] = relation
 
     @abc.abstractmethod
     def count_three_paths(self, u: Vertex, v: Vertex) -> int:
@@ -312,11 +351,21 @@ class PhaseThreePathOracle(ThreePathOracle):
             _add_nested(self._pending_delta_c, right, left, sign)
 
     # -- phase machinery -----------------------------------------------------------------
-    def _start_phase(self) -> None:
-        """Snapshot the current relations and submit their products."""
-        snapshot_a = self.relation(1).to_count_matrix()
-        snapshot_b = self.relation(2).to_count_matrix()
-        snapshot_c = self.relation(3).to_count_matrix()
+    def _start_phase(
+        self, snapshots: Optional[tuple[CountMatrix, CountMatrix, CountMatrix]] = None
+    ) -> None:
+        """Snapshot the current relations and submit their products.
+
+        ``snapshots`` lets a bulk rebuild pass in already-materialized
+        relation matrices (the jobs only read them) instead of re-walking the
+        relation dictionaries tuple by tuple.
+        """
+        if snapshots is not None:
+            snapshot_a, snapshot_b, snapshot_c = snapshots
+        else:
+            snapshot_a = self.relation(1).to_count_matrix()
+            snapshot_b = self.relation(2).to_count_matrix()
+            snapshot_c = self.relation(3).to_count_matrix()
         self._pending_jobs = {
             "ab": ChainProductJob([snapshot_a, snapshot_b], name="A_old*B_old"),
             "bc": ChainProductJob([snapshot_b, snapshot_c], name="B_old*C_old"),
@@ -346,6 +395,43 @@ class PhaseThreePathOracle(ThreePathOracle):
         }
         self._phases_completed += 1
         self._start_phase()
+
+    def rebuild_from_mirrored_graph(
+        self,
+        graph: "DynamicGraph",
+        matrix: np.ndarray,
+        labels: List[Vertex],
+        square: Optional[np.ndarray] = None,
+    ) -> None:
+        """Bulk mirror rebuild plus a vectorized phase synchronization.
+
+        Instead of letting the scheduler spread the old-phase products over
+        the next phase, the products of the *current* snapshot are computed
+        immediately with dense BLAS products (in the mirrored setting
+        ``A = B = C``, so ``AB = BC = A^2`` and ``ABC = A^3``) and promoted,
+        and every delta store is cleared: queries right after the batch
+        boundary answer from the triple product alone.  This is a legal phase
+        boundary — the oracle is exact against *any* snapshot plus its deltas,
+        and here the deltas are simply empty.
+        """
+        super().rebuild_from_mirrored_graph(graph, matrix, labels, square)
+        if square is None:
+            square = exact_integer_matmul(matrix, matrix)
+        cube = exact_integer_matmul(square, matrix)
+        adjacency = CountMatrix.from_dense(matrix, labels)
+        product_square = CountMatrix.from_dense(square, labels)
+        self._product_ab = product_square
+        self._product_bc = product_square
+        self._product_abc = CountMatrix.from_dense(cube, labels)
+        self._delta_a_by_left = {}
+        self._delta_b = {}
+        self._delta_c_by_right = {}
+        self._phases_completed += 1
+        # The pending jobs re-multiply the same snapshot; they only read the
+        # shared adjacency matrix, so one materialization serves all three.
+        self._start_phase(snapshots=(adjacency, adjacency, adjacency))
+        n = matrix.shape[0]
+        self.cost.charge("batch_rebuild", 2 * n * n * n)
 
     def _compute_phase_length(self) -> int:
         if self._fixed_phase_length is not None:
@@ -409,8 +495,10 @@ class OracleBackedCounter(DynamicFourCycleCounter):
 
     name = "oracle-backed"
 
-    def __init__(self, oracle: ThreePathOracle, record_metrics: bool = False) -> None:
-        super().__init__(record_metrics=record_metrics)
+    def __init__(
+        self, oracle: ThreePathOracle, record_metrics: bool = False, interned: bool = True
+    ) -> None:
+        super().__init__(record_metrics=record_metrics, interned=interned)
         self._oracle = oracle
         # Share one cost model so oracle work shows up in the counter's totals.
         self._oracle.cost = self.cost
@@ -418,6 +506,33 @@ class OracleBackedCounter(DynamicFourCycleCounter):
     @property
     def oracle(self) -> ThreePathOracle:
         return self._oracle
+
+    def _batch_hook(self, batch) -> bool:
+        """Batch fast path: bulk-apply the window, then one vectorized rebuild.
+
+        The per-update path mirrors every edge into six relation updates, each
+        firing the oracle's Python maintenance hooks.  For a large window it
+        is cheaper to apply the net updates to the graph in bulk, rebuild the
+        oracle from the mirrored graph with dense kernels
+        (:meth:`ThreePathOracle.rebuild_from_mirrored_graph`), and take the
+        exact boundary count from the closed-walk trace formula over the same
+        interned adjacency matrix.
+        """
+        if len(batch) < self.batch_fast_path_threshold or not self._graph.is_interned:
+            return False
+        self._graph.apply_batch(batch)
+        matrix, labels = self._graph.interned_adjacency_matrix()
+        square = exact_integer_matmul(matrix, matrix)
+        self._oracle.rebuild_from_mirrored_graph(self._graph, matrix, labels, square=square)
+        if self._graph.num_edges == 0:
+            self._count = 0
+        else:
+            self._count = four_cycles_from_adjacency(
+                matrix, self._graph.num_edges, square=square
+            )
+        n = matrix.shape[0]
+        self.cost.charge("batch_recount", n * n * n)
+        return True
 
     def _three_paths(self, u: Vertex, v: Vertex) -> int:
         return self._oracle.count_three_paths(u, v)

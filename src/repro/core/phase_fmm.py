@@ -30,13 +30,14 @@ class PhaseFMMCounter(OracleBackedCounter):
         delta: Optional[float] = None,
         min_phase_length: int = 16,
         record_metrics: bool = False,
+        interned: bool = True,
     ) -> None:
         oracle = PhaseThreePathOracle(
             phase_length=phase_length,
             delta=delta,
             min_phase_length=min_phase_length,
         )
-        super().__init__(oracle=oracle, record_metrics=record_metrics)
+        super().__init__(oracle=oracle, record_metrics=record_metrics, interned=interned)
 
     @property
     def phase_oracle(self) -> PhaseThreePathOracle:

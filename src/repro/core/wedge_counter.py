@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.base import DynamicFourCycleCounter
 from repro.graph.updates import UpdateBatch
-from repro.matmul.engine import CountMatrix
+from repro.matmul.engine import CountMatrix, exact_integer_matmul
 
 Vertex = Hashable
 
@@ -26,8 +26,8 @@ class WedgeCounter(DynamicFourCycleCounter):
 
     name = "wedge"
 
-    def __init__(self, record_metrics: bool = False) -> None:
-        super().__init__(record_metrics=record_metrics)
+    def __init__(self, record_metrics: bool = False, interned: bool = True) -> None:
+        super().__init__(record_metrics=record_metrics, interned=interned)
         #: ``wedges[a][b]`` = number of common neighbors of ``a`` and ``b``;
         #: stored symmetrically (both orientations) for O(1) lookups.
         self._wedges = CountMatrix()
@@ -55,9 +55,14 @@ class WedgeCounter(DynamicFourCycleCounter):
         if len(batch) < self.batch_fast_path_threshold:
             return False
         self._graph.apply_batch(batch)
-        matrix, order = self._graph.adjacency_matrix()
+        if self._graph.is_interned:
+            # Interned export: one vectorized scatter in id order, no vertex
+            # sort and no per-edge label lookups.
+            matrix, order = self._graph.interned_adjacency_matrix()
+        else:
+            matrix, order = self._graph.adjacency_matrix()
         n = matrix.shape[0]
-        wedge = matrix @ matrix
+        wedge = exact_integer_matmul(matrix, matrix)
         np.fill_diagonal(wedge, 0)
         # One dense n x n product: ~n^3 multiply-adds, charged so the ops
         # columns stay comparable with the per-update structure_update path.
@@ -68,10 +73,22 @@ class WedgeCounter(DynamicFourCycleCounter):
         return True
 
     def _three_paths(self, u: Vertex, v: Vertex) -> int:
+        # Sum wedges(x, v) over x in N(u).  The wedge matrix is symmetric, so
+        # the sum can be aggregated from whichever side is smaller: the
+        # neighborhood of u or the non-zero wedge row of v (the row is what a
+        # high-degree neighborhood scan used to probe entry by entry).
+        neighbors = self._graph.neighbors(u)
+        row = self._wedges.row(v)
         total = 0
-        for x in self._graph.neighbors(u):
-            self.cost.charge("structure_lookup")
-            total += self._wedges.get(x, v)
+        if len(row) < len(neighbors):
+            self.cost.charge("structure_lookup", len(row))
+            for x, value in row.items():
+                if x in neighbors:
+                    total += value
+        else:
+            self.cost.charge("structure_lookup", len(neighbors))
+            for x in neighbors:
+                total += row.get(x, 0)
         return total
 
     def _apply_structure_delta(self, u: Vertex, v: Vertex, sign: int) -> None:

@@ -1,6 +1,7 @@
-"""Graph substrate: dynamic simple graphs, 4-layered graphs, updates,
-degree classes, and static counting oracles."""
+"""Graph substrate: dynamic simple graphs, vertex interning, 4-layered
+graphs, updates, degree classes, and static counting oracles."""
 
+from repro.graph.interning import VertexInterner
 from repro.graph.degree_classes import (
     ChunkThresholds,
     ClassThresholds,
@@ -22,7 +23,9 @@ from repro.graph.reduction import (
     query_pair,
 )
 from repro.graph.static_counts import (
+    closed_four_walks_from_adjacency,
     count_closed_four_walks,
+    four_cycles_from_adjacency,
     count_four_cycles_edge_list,
     count_four_cycles_through_edge,
     count_four_cycles_trace,
@@ -48,6 +51,7 @@ __all__ = [
     "HysteresisClassifier",
     "MiddleClass",
     "DynamicGraph",
+    "VertexInterner",
     "LayeredGraph",
     "RELATION_LAYERS",
     "LAYER_RELATIONS",
@@ -56,7 +60,9 @@ __all__ = [
     "expand_general_stream",
     "query_pair",
     "expected_layered_cycle_count",
+    "closed_four_walks_from_adjacency",
     "count_closed_four_walks",
+    "four_cycles_from_adjacency",
     "count_four_cycles_trace",
     "count_four_cycles_wedges",
     "count_four_cycles_edge_list",

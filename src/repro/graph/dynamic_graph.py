@@ -7,12 +7,26 @@ no self-loops, no multi-edges), and exposes exactly the primitives the
 algorithms need: neighborhood iteration, degree queries, membership tests, and
 an adjacency-matrix export used by the brute-force reference counter and by
 the matrix-multiplication engine.
+
+Performance architecture.  By default the graph additionally maintains an
+**interned** representation: a :class:`~repro.graph.interning.VertexInterner`
+maps every label to a contiguous integer id, and adjacency is mirrored as
+int-id sets indexed by id.  A CSR view (``indptr``/``indices`` numpy arrays)
+of that representation is cached and rebuilt lazily whenever the graph has
+mutated since the last export.  The derived views — ``common_neighbors``,
+``degree_histogram``, ``adjacency_matrix``, ``edges`` — use the interned
+representation when present, which turns label-keyed Python loops into integer
+set operations and vectorized numpy scatters; counters build their batched
+numpy kernels on the same view (see :meth:`interned_adjacency_matrix`).
+Constructing with ``interned=False`` disables the mirror entirely and every
+consumer falls back to the original label-keyed scalar code, which is the
+reference the property tests compare the fast paths against.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Hashable, Iterable, Iterator, Sequence, Set, Union
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
@@ -22,6 +36,8 @@ from repro.exceptions import (
     SelfLoopError,
     UnknownVertexError,
 )
+from repro.exceptions import ConfigurationError
+from repro.graph.interning import VertexInterner
 from repro.graph.updates import (
     EdgeUpdate,
     UpdateBatch,
@@ -29,6 +45,7 @@ from repro.graph.updates import (
     _canonical_first,
     normalize_batch,
 )
+from repro.matmul.engine import expand_csr_rows
 
 Vertex = Hashable
 
@@ -41,15 +58,26 @@ class DynamicGraph:
     paper's graphs have a fixed vertex set ``V`` with edges arriving over
     time).  Deleting the last edge of a vertex keeps the vertex registered so
     degree-0 vertices remain queryable.
+
+    ``interned=True`` (the default) mirrors adjacency into integer-id sets
+    behind a shared :class:`~repro.graph.interning.VertexInterner`, enabling
+    the vectorized derived views documented in the module docstring.
     """
 
     def __init__(
         self,
         vertices: Iterable[Vertex] = (),
         edges: Iterable[tuple[Vertex, Vertex]] = (),
+        interned: bool = True,
     ) -> None:
         self._adjacency: Dict[Vertex, Set[Vertex]] = {}
         self._num_edges = 0
+        self._interner: Optional[VertexInterner] = VertexInterner() if interned else None
+        #: Int-id adjacency, indexed by interned id (None when not interned).
+        self._int_adjacency: List[Set[int]] = []
+        #: Bumped on every structural mutation; derived-view caches key on it.
+        self._version = 0
+        self._csr_cache: Optional[tuple[int, np.ndarray, np.ndarray]] = None
         for vertex in vertices:
             self.add_vertex(vertex)
         for u, v in edges:
@@ -66,12 +94,51 @@ class DynamicGraph:
         """Current number of edges, the paper's ``m``."""
         return self._num_edges
 
+    @property
+    def is_interned(self) -> bool:
+        """Whether the integer-interned fast-path representation is active."""
+        return self._interner is not None
+
+    @property
+    def interner(self) -> Optional[VertexInterner]:
+        """The shared vertex interner (``None`` when ``interned=False``)."""
+        return self._interner
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever the graph structure changes."""
+        return self._version
+
     def vertices(self) -> Iterator[Vertex]:
         """Iterate over all registered vertices."""
         return iter(self._adjacency)
 
     def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
-        """Iterate over all edges, each reported once in canonical order."""
+        """Iterate over all edges, each reported once in canonical order.
+
+        On the interned path each edge is enumerated once by comparing integer
+        ids (``u_id < v_id``) instead of calling the label comparison helper
+        per *oriented* pair, and the emitted pair is canonicalized with one
+        inline label comparison; non-comparable label mixes fall back to the
+        repr-keyed scalar path wholesale.
+        """
+        if self._interner is not None:
+            labels = self._interner.labels
+            pairs: list[tuple[Vertex, Vertex]] = []
+            try:
+                for uid, neighbor_ids in enumerate(self._int_adjacency):
+                    u = labels[uid]
+                    for vid in neighbor_ids:
+                        if uid < vid:
+                            v = labels[vid]
+                            pairs.append((u, v) if u <= v else (v, u))  # type: ignore[operator]
+            except TypeError:
+                return iter(self._edges_scalar())
+            return iter(pairs)
+        return self._edges_scalar()
+
+    def _edges_scalar(self) -> Iterator[tuple[Vertex, Vertex]]:
+        """Label-keyed edge enumeration (repr fallback for exotic labels)."""
         for u, neighbors in self._adjacency.items():
             for v in neighbors:
                 if _canonical_first(u, v):
@@ -81,6 +148,10 @@ class DynamicGraph:
         """Register ``vertex`` (a no-op if it already exists)."""
         if vertex not in self._adjacency:
             self._adjacency[vertex] = set()
+            if self._interner is not None:
+                self._interner.intern(vertex)
+                self._int_adjacency.append(set())
+            self._version += 1
 
     def has_vertex(self, vertex: Vertex) -> bool:
         return vertex in self._adjacency
@@ -106,8 +177,32 @@ class DynamicGraph:
         """
         return self._adjacency.get(vertex, _EMPTY_SET)
 
+    def neighbor_ids(self, vertex: Vertex) -> Set[int]:
+        """The interned neighbor-id set of ``vertex`` (fast-path only).
+
+        Empty set for unknown vertices; raises :class:`ConfigurationError`
+        when the graph is not interned.  Live internal set; do not mutate.
+        """
+        if self._interner is None:
+            raise ConfigurationError("neighbor_ids requires an interned graph")
+        vid = self._interner.get_id(vertex)
+        if vid is None:
+            return _EMPTY_INT_SET
+        return self._int_adjacency[vid]
+
     def common_neighbors(self, u: Vertex, v: Vertex) -> Set[Vertex]:
-        """Vertices adjacent to both ``u`` and ``v`` (the wedges between them)."""
+        """Vertices adjacent to both ``u`` and ``v`` (the wedges between them).
+
+        On the interned path the intersection runs over integer-id sets
+        (cheap hashing) and only the result crosses back to labels.
+        """
+        if self._interner is not None:
+            uid = self._interner.get_id(u)
+            vid = self._interner.get_id(v)
+            if uid is None or vid is None:
+                return set()
+            labels = self._interner.labels
+            return {labels[w] for w in self._int_adjacency[uid] & self._int_adjacency[vid]}
         first = self._adjacency.get(u, _EMPTY_SET)
         second = self._adjacency.get(v, _EMPTY_SET)
         if len(first) > len(second):
@@ -129,7 +224,13 @@ class DynamicGraph:
             raise DuplicateEdgeError(f"edge ({u!r}, {v!r}) is already present")
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
+        if self._interner is not None:
+            uid = self._interner.id_of(u)
+            vid = self._interner.id_of(v)
+            self._int_adjacency[uid].add(vid)
+            self._int_adjacency[vid].add(uid)
         self._num_edges += 1
+        self._version += 1
 
     def delete_edge(self, u: Vertex, v: Vertex) -> None:
         """Delete the undirected edge ``{u, v}``.
@@ -141,7 +242,13 @@ class DynamicGraph:
             raise MissingEdgeError(f"edge ({u!r}, {v!r}) is not present")
         neighbors.remove(v)
         self._adjacency[v].remove(u)
+        if self._interner is not None:
+            uid = self._interner.id_of(u)
+            vid = self._interner.id_of(v)
+            self._int_adjacency[uid].discard(vid)
+            self._int_adjacency[vid].discard(uid)
         self._num_edges -= 1
+        self._version += 1
 
     def apply(self, update: EdgeUpdate) -> None:
         """Apply a single :class:`EdgeUpdate` (insert or delete)."""
@@ -164,38 +271,67 @@ class DynamicGraph:
         through :meth:`add_vertex` on every call.
         """
         adjacency = self._adjacency
+        interner = self._interner
+        int_adjacency = self._int_adjacency
         inserted = 0
-        for u, v in edges:
-            if u == v:
-                raise SelfLoopError(f"cannot insert self-loop at vertex {u!r}")
-            neighbors_u = adjacency.get(u)
-            if neighbors_u is None:
-                neighbors_u = set()
-                adjacency[u] = neighbors_u
-            neighbors_v = adjacency.get(v)
-            if neighbors_v is None:
-                neighbors_v = set()
-                adjacency[v] = neighbors_v
-            if v in neighbors_u:
-                raise DuplicateEdgeError(f"edge ({u!r}, {v!r}) is already present")
-            neighbors_u.add(v)
-            neighbors_v.add(u)
-            self._num_edges += 1
-            inserted += 1
+        try:
+            for u, v in edges:
+                if u == v:
+                    raise SelfLoopError(f"cannot insert self-loop at vertex {u!r}")
+                neighbors_u = adjacency.get(u)
+                if neighbors_u is None:
+                    neighbors_u = set()
+                    adjacency[u] = neighbors_u
+                    if interner is not None:
+                        interner.intern(u)
+                        int_adjacency.append(set())
+                neighbors_v = adjacency.get(v)
+                if neighbors_v is None:
+                    neighbors_v = set()
+                    adjacency[v] = neighbors_v
+                    if interner is not None:
+                        interner.intern(v)
+                        int_adjacency.append(set())
+                if v in neighbors_u:
+                    raise DuplicateEdgeError(f"edge ({u!r}, {v!r}) is already present")
+                neighbors_u.add(v)
+                neighbors_v.add(u)
+                if interner is not None:
+                    uid = interner.id_of(u)
+                    vid = interner.id_of(v)
+                    int_adjacency[uid].add(vid)
+                    int_adjacency[vid].add(uid)
+                self._num_edges += 1
+                inserted += 1
+        finally:
+            # In the finally so a mid-loop validation error (with some edges
+            # already applied) still invalidates the derived-view caches.
+            self._version += 1
         return inserted
 
     def delete_edges(self, edges: Iterable[tuple[Vertex, Vertex]]) -> int:
         """Delete several edges at once, returning how many were deleted."""
         adjacency = self._adjacency
+        interner = self._interner
+        int_adjacency = self._int_adjacency
         deleted = 0
-        for u, v in edges:
-            neighbors = adjacency.get(u)
-            if neighbors is None or v not in neighbors:
-                raise MissingEdgeError(f"edge ({u!r}, {v!r}) is not present")
-            neighbors.remove(v)
-            adjacency[v].remove(u)
-            self._num_edges -= 1
-            deleted += 1
+        try:
+            for u, v in edges:
+                neighbors = adjacency.get(u)
+                if neighbors is None or v not in neighbors:
+                    raise MissingEdgeError(f"edge ({u!r}, {v!r}) is not present")
+                neighbors.remove(v)
+                adjacency[v].remove(u)
+                if interner is not None:
+                    uid = interner.id_of(u)
+                    vid = interner.id_of(v)
+                    int_adjacency[uid].discard(vid)
+                    int_adjacency[vid].discard(uid)
+                self._num_edges -= 1
+                deleted += 1
+        finally:
+            # See insert_edges: caches must not survive a partial bulk delete.
+            self._version += 1
         return deleted
 
     def apply_batch(self, updates: Union[UpdateBatch, Iterable[EdgeUpdate]]) -> UpdateBatch:
@@ -222,13 +358,74 @@ class DynamicGraph:
     # -- derived views -----------------------------------------------------
     def copy(self) -> "DynamicGraph":
         """An independent deep copy of the graph."""
-        clone = DynamicGraph()
+        clone = DynamicGraph(interned=self._interner is not None)
         clone._adjacency = {vertex: set(neighbors) for vertex, neighbors in self._adjacency.items()}
         clone._num_edges = self._num_edges
+        if self._interner is not None:
+            clone._interner = self._interner.copy()
+            clone._int_adjacency = [set(neighbor_ids) for neighbor_ids in self._int_adjacency]
         return clone
 
+    def csr_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """A CSR view ``(indptr, indices)`` of the interned adjacency.
+
+        ``indices[indptr[i]:indptr[i + 1]]`` holds the neighbor ids of the
+        vertex with interned id ``i``.  The view is cached and rebuilt lazily
+        the first time it is requested after a mutation (so a whole batched
+        kernel pays one O(n + m) rebuild, not one per export).  The returned
+        arrays are shared with the cache; callers must not mutate them.
+        """
+        if self._interner is None:
+            raise ConfigurationError("csr_view requires an interned graph")
+        cache = self._csr_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1], cache[2]
+        int_adjacency = self._int_adjacency
+        n = len(int_adjacency)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for vid, neighbor_ids in enumerate(int_adjacency):
+            indptr[vid + 1] = len(neighbor_ids)
+        np.cumsum(indptr, out=indptr)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for vid, neighbor_ids in enumerate(int_adjacency):
+            if neighbor_ids:
+                indices[indptr[vid]:indptr[vid + 1]] = list(neighbor_ids)
+        self._csr_cache = (self._version, indptr, indices)
+        return indptr, indices
+
+    def interned_adjacency_matrix(self, dtype=np.int64) -> tuple[np.ndarray, List[Vertex]]:
+        """The dense adjacency matrix in interned-id order.
+
+        Returns ``(matrix, labels)`` where row/column ``i`` belongs to
+        ``labels[i]`` (the interner's id order).  This skips the deterministic
+        sort of :meth:`vertex_order` entirely — batched kernels that only need
+        *some* consistent order (wedge rebuilds, trace counts) should use this
+        export; it is built by one vectorized scatter over the CSR view.
+        """
+        indptr, indices = self.csr_view()
+        n = len(indptr) - 1
+        matrix = np.zeros((n, n), dtype=dtype)
+        if len(indices):
+            matrix[expand_csr_rows(indptr), indices] = 1
+        return matrix, self._interner.labels  # type: ignore[union-attr]
+
     def degree_histogram(self) -> Dict[int, int]:
-        """Map from degree value to the number of vertices with that degree."""
+        """Map from degree value to the number of vertices with that degree.
+
+        When the CSR view is warm (the common case inside batched kernels,
+        which have just exported it), the degrees fall out of ``indptr`` as
+        one vectorized ``diff`` + ``bincount``; otherwise the plain counting
+        loop is used — rebuilding the CSR just for a histogram would cost more
+        than it saves.
+        """
+        cache = self._csr_cache
+        if cache is not None and cache[0] == self._version:
+            degrees = np.diff(cache[1])
+            if not len(degrees):
+                return {}
+            counts = np.bincount(degrees)
+            (nonzero,) = np.nonzero(counts)
+            return {int(degree): int(counts[degree]) for degree in nonzero}
         return dict(Counter(len(neighbors) for neighbors in self._adjacency.values()))
 
     def max_degree(self) -> int:
@@ -246,7 +443,7 @@ class DynamicGraph:
         distinct degree values down to the answer are visited, instead of
         materializing and sorting the full per-vertex degree list.
         """
-        histogram = Counter(len(neighbors) for neighbors in self._adjacency.values())
+        histogram = self.degree_histogram()
         at_least = 0
         h = 0
         for degree in sorted(histogram, reverse=True):
@@ -270,9 +467,14 @@ class DynamicGraph:
         """The dense adjacency matrix and the vertex order it uses.
 
         ``order`` fixes the row/column ordering; by default the deterministic
-        :meth:`vertex_order` is used so repeated exports are comparable.
+        :meth:`vertex_order` is used so repeated exports are comparable.  On
+        the interned path the matrix is filled by one vectorized scatter from
+        the CSR view (ids are translated to positions through one numpy take
+        instead of two dict lookups per edge).
         """
         ordered = list(order) if order is not None else self.vertex_order()
+        if self._interner is not None:
+            return self._adjacency_matrix_interned(ordered, dtype), ordered
         index = {vertex: position for position, vertex in enumerate(ordered)}
         matrix = np.zeros((len(ordered), len(ordered)), dtype=dtype)
         for u, v in self.edges():
@@ -280,6 +482,25 @@ class DynamicGraph:
                 matrix[index[u], index[v]] = 1
                 matrix[index[v], index[u]] = 1
         return matrix, ordered
+
+    def _adjacency_matrix_interned(self, ordered: list[Vertex], dtype) -> np.ndarray:
+        indptr, indices = self.csr_view()
+        n_ids = len(indptr) - 1
+        # position[vid] = row/column of that id in `ordered`, -1 when excluded.
+        position = np.full(n_ids, -1, dtype=np.int64)
+        interner = self._interner
+        assert interner is not None
+        for pos, vertex in enumerate(ordered):
+            vid = interner.get_id(vertex)
+            if vid is not None:
+                position[vid] = pos
+        matrix = np.zeros((len(ordered), len(ordered)), dtype=dtype)
+        if len(indices):
+            row_pos = position[expand_csr_rows(indptr)]
+            col_pos = position[indices]
+            keep = (row_pos >= 0) & (col_pos >= 0)
+            matrix[row_pos[keep], col_pos[keep]] = 1
+        return matrix
 
     def to_edge_set(self) -> set[tuple[Vertex, Vertex]]:
         """The current edge set as canonical pairs."""
@@ -295,5 +516,6 @@ class DynamicGraph:
         return f"DynamicGraph(n={self.num_vertices}, m={self.num_edges})"
 
 
-#: Shared immutable empty set returned for unknown vertices.
+#: Shared immutable empty sets returned for unknown vertices.
 _EMPTY_SET: frozenset = frozenset()
+_EMPTY_INT_SET: frozenset = frozenset()

@@ -13,8 +13,58 @@ from typing import Dict, Hashable, Iterable, Tuple
 import numpy as np
 
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.matmul.engine import exact_integer_matmul
 
 Vertex = Hashable
+
+
+def _export_adjacency(graph: DynamicGraph) -> np.ndarray:
+    """Adjacency matrix in whatever order is cheapest to produce.
+
+    Order-insensitive callers (trace/walk formulas) take the interned export
+    when available — one vectorized scatter, no vertex sort — and fall back to
+    the label-keyed export otherwise.
+    """
+    if graph.is_interned:
+        matrix, _ = graph.interned_adjacency_matrix(dtype=np.int64)
+        return matrix
+    matrix, _ = graph.adjacency_matrix(dtype=np.int64)
+    return matrix
+
+
+def closed_four_walks_from_adjacency(
+    matrix: np.ndarray, square: np.ndarray | None = None
+) -> int:
+    """``tr(A^4)`` for a symmetric 0/1 adjacency matrix.
+
+    Computed as the squared Frobenius norm of ``A^2`` — one dense product
+    instead of the two a literal fourth power costs.  ``square`` short-cuts
+    callers that already hold ``A^2``.
+    """
+    if square is None:
+        square = exact_integer_matmul(matrix, matrix)
+    return int((square * square).sum())
+
+
+def four_cycles_from_adjacency(
+    matrix: np.ndarray, num_edges: int, square: np.ndarray | None = None
+) -> int:
+    """Exact 4-cycle count from a symmetric 0/1 adjacency matrix.
+
+    The closed-walk trace formula shared by every vectorized recount path
+    (brute-force and counter batch hooks, static validation):
+    ``C4 = (tr(A^4) - 2 m - 2 * sum_v deg(v) (deg(v) - 1)) / 8``.
+    """
+    walk_count = closed_four_walks_from_adjacency(matrix, square)
+    degrees = matrix.sum(axis=1)
+    degenerate = 2 * num_edges + 2 * int(np.sum(degrees * (degrees - 1)))
+    remaining = walk_count - degenerate
+    if remaining % 8 != 0:
+        raise AssertionError(
+            f"trace formula produced a non-multiple of 8 ({remaining}); "
+            "the adjacency matrix export is inconsistent"
+        )
+    return remaining // 8
 
 
 def count_four_cycles_trace(graph: DynamicGraph) -> int:
@@ -28,18 +78,7 @@ def count_four_cycles_trace(graph: DynamicGraph) -> int:
     """
     if graph.num_edges == 0:
         return 0
-    matrix, order = graph.adjacency_matrix(dtype=np.int64)
-    walk_count = int(np.trace(np.linalg.matrix_power(matrix, 4)))
-    degrees = matrix.sum(axis=1)
-    degenerate = 2 * graph.num_edges + 2 * int(np.sum(degrees * (degrees - 1)))
-    remaining = walk_count - degenerate
-    if remaining % 8 != 0:
-        raise AssertionError(
-            f"trace formula produced a non-multiple of 8 ({remaining}); "
-            "the adjacency matrix export is inconsistent"
-        )
-    del order
-    return remaining // 8
+    return four_cycles_from_adjacency(_export_adjacency(graph), graph.num_edges)
 
 
 def count_closed_four_walks(graph: DynamicGraph) -> int:
@@ -50,8 +89,7 @@ def count_closed_four_walks(graph: DynamicGraph) -> int:
     """
     if graph.num_edges == 0:
         return 0
-    matrix, _ = graph.adjacency_matrix(dtype=np.int64)
-    return int(np.trace(np.linalg.matrix_power(matrix, 4)))
+    return closed_four_walks_from_adjacency(_export_adjacency(graph))
 
 
 def count_four_cycles_wedges(graph: DynamicGraph) -> int:

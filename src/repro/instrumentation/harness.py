@@ -124,6 +124,29 @@ def _run_counter_batched(
     )
 
 
+def time_replay(
+    counter: "DynamicFourCycleCounter",
+    stream: UpdateStream,
+    batch_size: int = 1,
+) -> float:
+    """Wall-clock seconds to replay ``stream`` through ``counter``.
+
+    The minimal timing loop shared by the throughput experiments (E10/E11):
+    no metrics recording, no count collection — only the work a production
+    caller of the update API would do.  ``batch_size <= 1`` drives the
+    per-update ``apply`` path, larger sizes the ``apply_batch`` pipeline
+    (normalization included in the measured time).
+    """
+    started = time.perf_counter()
+    if batch_size <= 1:
+        for update in stream:
+            counter.apply(update)
+    else:
+        for window in stream.batched(batch_size):
+            counter.apply_batch(window)
+    return time.perf_counter() - started
+
+
 def run_validated(
     counter: "DynamicFourCycleCounter",
     stream: UpdateStream,

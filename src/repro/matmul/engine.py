@@ -40,19 +40,63 @@ from repro.exceptions import ConfigurationError, DimensionMismatchError
 Label = Hashable
 
 
+def expand_csr_rows(indptr: np.ndarray, rows: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-entry row indices for a CSR structure.
+
+    Expands ``indptr`` into one row index per stored entry — the shared core
+    of every CSR-to-dense scatter (graph adjacency exports and the cached
+    dense backend).  ``rows`` remaps row positions (defaults to
+    ``0..len(indptr)-2``, the identity).
+    """
+    if rows is None:
+        rows = np.arange(len(indptr) - 1, dtype=np.int64)
+    return np.repeat(rows, np.diff(indptr))
+
+
+@dataclass(frozen=True)
+class CountMatrixCSR:
+    """An interned CSR snapshot of a :class:`CountMatrix`.
+
+    ``row_order``/``col_order`` give each distinct label a contiguous integer
+    position (insertion order — no repr sorting); ``col_ids`` holds, for every
+    stored entry, the *position* of its column label, so dense exports become
+    one vectorized scatter instead of two dict lookups per entry.  The
+    snapshot is cached on the matrix and keyed to its mutation version: it is
+    built at most once between mutations and reused across every multiply in a
+    chain (see :class:`DenseBackend`).
+    """
+
+    version: int
+    row_order: list
+    col_order: list
+    col_index: Dict[Label, int]
+    indptr: np.ndarray
+    col_ids: np.ndarray
+    data: np.ndarray
+
+
 class CountMatrix:
     """A sparse integer matrix keyed by arbitrary row/column labels.
 
     Entries with value zero are removed eagerly so iteration only touches
     non-zeros; this matters because the counters add and subtract contributions
     (insertions and deletions) and most entries cancel over time.
+
+    The matrix maintains a per-column row count alongside the entries (so
+    :meth:`column_labels` never rescans the rows) and a mutation version that
+    keys the cached interned CSR export of :meth:`csr` — any mutation
+    invalidates the cache, any number of reads between mutations share it.
     """
 
-    __slots__ = ("_rows", "_nnz")
+    __slots__ = ("_rows", "_nnz", "_col_counts", "_version", "_csr_cache")
 
     def __init__(self, entries: Mapping[tuple[Label, Label], int] | None = None) -> None:
         self._rows: Dict[Label, Dict[Label, int]] = {}
         self._nnz = 0
+        #: For every column label, the number of rows with a non-zero there.
+        self._col_counts: Dict[Label, int] = {}
+        self._version = 0
+        self._csr_cache: Optional[CountMatrixCSR] = None
         if entries:
             for (row, column), value in entries.items():
                 self.add(row, column, value)
@@ -69,6 +113,7 @@ class CountMatrix:
         """
         if delta == 0:
             return
+        self._version += 1
         row_map = self._rows.get(row)
         if row_map is None:
             row_map = {}
@@ -77,9 +122,15 @@ class CountMatrix:
         updated = current + delta
         if current == 0:
             self._nnz += 1
+            self._col_counts[column] = self._col_counts.get(column, 0) + 1
         if updated == 0:
             del row_map[column]
             self._nnz -= 1
+            remaining = self._col_counts[column] - 1
+            if remaining:
+                self._col_counts[column] = remaining
+            else:
+                del self._col_counts[column]
             if not row_map:
                 del self._rows[row]
         else:
@@ -108,15 +159,68 @@ class CountMatrix:
         return set(self._rows)
 
     def column_labels(self) -> set[Label]:
-        labels: set[Label] = set()
-        for row_map in self._rows.values():
-            labels.update(row_map)
-        return labels
+        """Labels with at least one non-zero column entry.
+
+        Served from the maintained per-column counts — O(distinct columns)
+        instead of a scan over every stored entry.
+        """
+        return set(self._col_counts)
+
+    @property
+    def num_row_labels(self) -> int:
+        """Number of distinct row labels (without materializing the set)."""
+        return len(self._rows)
+
+    @property
+    def num_column_labels(self) -> int:
+        """Number of distinct column labels (without materializing the set)."""
+        return len(self._col_counts)
 
     @property
     def nnz(self) -> int:
         """Number of non-zero entries."""
         return self._nnz
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever any entry changes."""
+        return self._version
+
+    def csr(self) -> CountMatrixCSR:
+        """The cached interned CSR snapshot of the current contents.
+
+        Built lazily on first use after a mutation and shared by every reader
+        until the next mutation; the dense multiply backend keys its exports
+        on it so a ``multiply_chain`` re-uses each operand's interning instead
+        of re-walking label dicts per product.
+        """
+        cache = self._csr_cache
+        if cache is not None and cache.version == self._version:
+            return cache
+        row_order = list(self._rows)
+        col_order = list(self._col_counts)
+        col_index = {label: position for position, label in enumerate(col_order)}
+        indptr = np.zeros(len(row_order) + 1, dtype=np.int64)
+        col_ids = np.empty(self._nnz, dtype=np.int64)
+        data = np.empty(self._nnz, dtype=np.int64)
+        cursor = 0
+        for position, row_map in enumerate(self._rows.values()):
+            for column, value in row_map.items():
+                col_ids[cursor] = col_index[column]
+                data[cursor] = value
+                cursor += 1
+            indptr[position + 1] = cursor
+        cache = CountMatrixCSR(
+            version=self._version,
+            row_order=row_order,
+            col_order=col_order,
+            col_index=col_index,
+            indptr=indptr,
+            col_ids=col_ids,
+            data=data,
+        )
+        self._csr_cache = cache
+        return cache
 
     def __bool__(self) -> bool:
         return self._nnz > 0
@@ -134,6 +238,7 @@ class CountMatrix:
         clone = CountMatrix()
         clone._rows = {row: dict(row_map) for row, row_map in self._rows.items()}
         clone._nnz = self._nnz
+        clone._col_counts = dict(self._col_counts)
         return clone
 
     def add_matrix(self, other: "CountMatrix", scale: int = 1) -> None:
@@ -177,26 +282,49 @@ class CountMatrix:
         """Build a sparse matrix from a dense array and its label orders.
 
         ``column_order`` defaults to ``row_order`` (square matrices).  Rows
-        are populated directly from the nonzero mask in one pass, so the
-        batched counters can promote a vectorized rebuild into the
+        are populated one ``dict(zip(...))`` per non-empty row from the
+        row-major nonzero mask (``np.nonzero`` yields row-sorted indices), so
+        the batched counters can promote a vectorized rebuild into the
         label-indexed representation without per-entry ``add`` overhead.
         """
         if column_order is None:
             column_order = row_order
         result = cls()
         nonzero_rows, nonzero_columns = np.nonzero(dense)
+        if not len(nonzero_rows):
+            return result
         values = dense[nonzero_rows, nonzero_columns]
-        rows = result._rows
-        for i, j, value in zip(
-            nonzero_rows.tolist(), nonzero_columns.tolist(), values.tolist()
+        if len(set(row_order)) != len(row_order) or len(set(column_order)) != len(
+            column_order
         ):
-            row_label = row_order[i]
-            row_map = rows.get(row_label)
-            if row_map is None:
-                row_map = {}
-                rows[row_label] = row_map
-            row_map[column_order[j]] = int(value)
+            # Rare degenerate input: duplicate labels collide, so colliding
+            # entries must *sum* (add() semantics) and the bookkeeping must
+            # reflect the merged result — take the slow exact path.
+            for i, j, value in zip(
+                nonzero_rows.tolist(), nonzero_columns.tolist(), values.tolist()
+            ):
+                result.add(row_order[i], column_order[j], int(value))
+            return result
+        column_labels = np.empty(len(column_order), dtype=object)
+        column_labels[:] = list(column_order)
+        entry_labels = column_labels[nonzero_columns]
+        value_list = values.tolist()
+        if values.dtype.kind not in "iu":  # coerce exotic dtypes like add() would
+            value_list = [int(value) for value in value_list]
+        distinct_rows, starts = np.unique(nonzero_rows, return_index=True)
+        boundaries = starts.tolist() + [len(nonzero_rows)]
+        rows = result._rows
+        for position, i in enumerate(distinct_rows.tolist()):
+            begin, end = boundaries[position], boundaries[position + 1]
+            rows[row_order[i]] = dict(
+                zip(entry_labels[begin:end].tolist(), value_list[begin:end])
+            )
         result._nnz = int(len(values))
+        distinct_columns, per_column = np.unique(nonzero_columns, return_counts=True)
+        result._col_counts = {
+            column_order[j]: int(count)
+            for j, count in zip(distinct_columns.tolist(), per_column.tolist())
+        }
         return result
 
     @classmethod
@@ -240,8 +368,8 @@ class SparseBackend:
                     result.add(row, column, left_value * right_value)
         stats = MultiplyStats(
             backend=self.name,
-            left_shape=(len(left.row_labels()), len(left.column_labels())),
-            right_shape=(len(right.row_labels()), len(right.column_labels())),
+            left_shape=(left.num_row_labels, left.num_column_labels),
+            right_shape=(right.num_row_labels, right.num_column_labels),
             multiplications=multiplications,
             output_nnz=result.nnz,
         )
@@ -254,23 +382,85 @@ class DenseBackend:
     The label universe is trimmed to rows/columns that actually appear, the
     analogue of the paper's observation (Claim 3.4) that zero rows and columns
     "effectively reduce the dimension for computational purposes".
+
+    With ``use_csr_cache=True`` (the default) the dense operands are built
+    from each matrix's cached interned CSR snapshot (:meth:`CountMatrix.csr`):
+    label interning happens once per matrix per mutation, the middle axis is
+    aligned by remapping the (few) distinct labels rather than every entry,
+    and the scatter into the dense arrays is vectorized.  A ``multiply_chain``
+    therefore skips the per-entry label->position dict round-trips of the
+    scalar path entirely.  ``use_csr_cache=False`` keeps the original
+    label-dict export (used by the E11 benchmark as the scalar baseline).
     """
 
     name = "dense"
 
+    def __init__(self, use_csr_cache: bool = True) -> None:
+        self.use_csr_cache = use_csr_cache
+
     def multiply(self, left: CountMatrix, right: CountMatrix) -> tuple[CountMatrix, MultiplyStats]:
+        if self.use_csr_cache:
+            return self._multiply_cached(left, right)
+        return self._multiply_scalar(left, right)
+
+    def _empty_stats(self, rows: int, middles: int, columns: int) -> MultiplyStats:
+        return MultiplyStats(
+            backend=self.name,
+            left_shape=(rows, middles),
+            right_shape=(middles, columns),
+            multiplications=0,
+            output_nnz=0,
+        )
+
+    def _multiply_cached(
+        self, left: CountMatrix, right: CountMatrix
+    ) -> tuple[CountMatrix, MultiplyStats]:
+        left_csr = left.csr()
+        right_csr = right.csr()
+        row_order = left_csr.row_order
+        column_order = right_csr.col_order
+        # Align the middle axis: left columns first, then right rows that are
+        # new — only distinct labels are remapped, never individual entries.
+        middle_index = dict(left_csr.col_index)
+        for label in right_csr.row_order:
+            if label not in middle_index:
+                middle_index[label] = len(middle_index)
+        middles = len(middle_index)
+        if not row_order or not middles or not column_order:
+            return CountMatrix(), self._empty_stats(len(row_order), middles, len(column_order))
+        left_dense = np.zeros((len(row_order), middles), dtype=np.int64)
+        if left_csr.data.size:
+            left_dense[expand_csr_rows(left_csr.indptr), left_csr.col_ids] = left_csr.data
+        right_dense = np.zeros((middles, len(column_order)), dtype=np.int64)
+        if right_csr.data.size:
+            row_map = np.fromiter(
+                (middle_index[label] for label in right_csr.row_order),
+                dtype=np.int64,
+                count=len(right_csr.row_order),
+            )
+            rows = expand_csr_rows(right_csr.indptr, row_map)
+            right_dense[rows, right_csr.col_ids] = right_csr.data
+        product = exact_integer_matmul(left_dense, right_dense)
+        result = CountMatrix.from_dense(product, row_order, column_order)
+        stats = MultiplyStats(
+            backend=self.name,
+            left_shape=left_dense.shape,
+            right_shape=right_dense.shape,
+            multiplications=len(row_order) * middles * len(column_order),
+            output_nnz=result.nnz,
+        )
+        return result, stats
+
+    def _multiply_scalar(
+        self, left: CountMatrix, right: CountMatrix
+    ) -> tuple[CountMatrix, MultiplyStats]:
         row_order = sorted(left.row_labels(), key=repr)
         middle_order = sorted(left.column_labels() | right.row_labels(), key=repr)
         column_order = sorted(right.column_labels(), key=repr)
         if not row_order or not middle_order or not column_order:
-            stats = MultiplyStats(
-                backend=self.name,
-                left_shape=(len(row_order), len(middle_order)),
-                right_shape=(len(middle_order), len(column_order)),
-                multiplications=0,
-                output_nnz=0,
+            return CountMatrix(), self._empty_stats(
+                len(row_order), len(middle_order), len(column_order)
             )
-            return CountMatrix(), stats
         left_dense = left.to_dense(row_order, middle_order)
         right_dense = right.to_dense(middle_order, column_order)
         product = left_dense @ right_dense
@@ -355,6 +545,33 @@ class MatmulEngine:
         middles = len(left.column_labels() | right.row_labels())
         columns = len(right.column_labels())
         return rows * middles * columns
+
+
+#: Largest magnitude a float64 represents exactly (2^53); dot products whose
+#: worst case stays strictly below it cannot round.
+_FLOAT64_EXACT_BOUND = float(2**53)
+
+
+def exact_integer_matmul(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Multiply two integer matrices exactly, through BLAS when provably safe.
+
+    numpy routes integer ``@`` through a generic non-BLAS inner loop, which is
+    roughly an order of magnitude slower than the float64 GEMM at the sizes
+    the batched kernels use.  When every possible dot product is bounded below
+    ``2^53`` (``max|left| * max|right| * inner_dim``), the float64 product is
+    exact, so it is computed there and cast back; otherwise the integer loop
+    is used.  All vectorized counter kernels and the cached dense backend
+    funnel their products through this helper.
+    """
+    if left.size == 0 or right.size == 0:
+        return left @ right
+    left_max = int(np.abs(left).max())
+    right_max = int(np.abs(right).max())
+    worst_case = float(left_max) * float(right_max) * max(left.shape[1], 1)
+    if worst_case < _FLOAT64_EXACT_BOUND:
+        product = left.astype(np.float64) @ right.astype(np.float64)
+        return np.rint(product).astype(np.int64)
+    return left @ right
 
 
 def multiply_dense_arrays(left: np.ndarray, right: np.ndarray) -> np.ndarray:

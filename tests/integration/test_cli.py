@@ -36,3 +36,34 @@ class TestCli:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args([])
+
+    def test_bench_command_writes_artifacts(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "bench",
+                    "--quick",
+                    "--experiments",
+                    "e11",
+                    "--output-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "E11" in output and "wrote" in output
+        artifact = tmp_path / "BENCH_E11.json"
+        assert artifact.exists()
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert payload["benchmark"] == "E11"
+        assert payload["params"]["batch_size"] == 64
+        kernels = {row["kernel"] for row in payload["rows"]}
+        assert "wedge-updates" in kernels and "multiply-chain-dense" in kernels
+        assert all(row["exact"] for row in payload["rows"])
+
+    def test_bench_command_rejects_unknown_experiment(self, capsys):
+        assert main(["bench", "--experiments", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out

@@ -1,0 +1,180 @@
+"""Tests for the CountMatrix interned CSR cache and the cached dense backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.matmul.engine import (
+    CountMatrix,
+    DenseBackend,
+    MatmulEngine,
+    SparseBackend,
+    exact_integer_matmul,
+)
+
+FAST_SETTINGS = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+entries_strategy = st.dictionaries(
+    keys=st.tuples(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=6)),
+    values=st.integers(min_value=-4, max_value=4).filter(lambda value: value != 0),
+    max_size=25,
+)
+
+
+class TestMaintainedColumnLabels:
+    def test_column_labels_track_adds_and_cancellations(self):
+        matrix = CountMatrix()
+        matrix.add("r1", "c1", 2)
+        matrix.add("r2", "c1", 1)
+        matrix.add("r1", "c2", 3)
+        assert matrix.column_labels() == {"c1", "c2"}
+        assert matrix.num_column_labels == 2
+        matrix.add("r1", "c2", -3)  # cancels the only c2 entry
+        assert matrix.column_labels() == {"c1"}
+        matrix.add("r2", "c1", -1)
+        assert matrix.column_labels() == {"c1"}  # r1 still holds c1
+        matrix.add("r1", "c1", -2)
+        assert matrix.column_labels() == set()
+        assert matrix.num_column_labels == 0
+
+    @given(entries=entries_strategy)
+    @FAST_SETTINGS
+    def test_maintained_labels_match_rescan(self, entries):
+        matrix = CountMatrix(entries)
+        rescanned = set()
+        for _, column, _ in matrix.items():
+            rescanned.add(column)
+        assert matrix.column_labels() == rescanned
+        assert matrix.num_row_labels == len(matrix.row_labels())
+
+    def test_copy_and_from_dense_preserve_column_counts(self):
+        matrix = CountMatrix({("a", "x"): 1, ("b", "x"): 2, ("a", "y"): 3})
+        assert matrix.copy().column_labels() == {"x", "y"}
+        dense = matrix.to_dense(["a", "b"], ["x", "y"])
+        rebuilt = CountMatrix.from_dense(dense, ["a", "b"], ["x", "y"])
+        assert rebuilt == matrix
+        assert rebuilt.column_labels() == {"x", "y"}
+        rebuilt.add("a", "y", -3)
+        assert rebuilt.column_labels() == {"x"}
+
+
+class TestCsrCache:
+    def test_cache_reused_between_reads(self):
+        matrix = CountMatrix({("a", "x"): 1, ("b", "y"): 2})
+        assert matrix.csr() is matrix.csr()
+
+    def test_cache_invalidated_on_mutation(self):
+        matrix = CountMatrix({("a", "x"): 1})
+        before = matrix.csr()
+        matrix.add("a", "y", 5)
+        after = matrix.csr()
+        assert after is not before
+        assert after.version == matrix.version
+        assert list(after.data) == [1, 5]
+
+    def test_csr_round_trips_contents(self):
+        matrix = CountMatrix({("a", "x"): 1, ("a", "y"): -2, ("b", "x"): 7})
+        csr = matrix.csr()
+        assert csr.row_order == ["a", "b"]
+        assert set(csr.col_order) == {"x", "y"}
+        for position, row in enumerate(csr.row_order):
+            for cursor in range(int(csr.indptr[position]), int(csr.indptr[position + 1])):
+                column = csr.col_order[int(csr.col_ids[cursor])]
+                assert matrix.get(row, column) == int(csr.data[cursor])
+
+    def test_zero_cancellation_invalidates(self):
+        matrix = CountMatrix({("a", "x"): 1})
+        matrix.csr()
+        matrix.add("a", "x", -1)
+        assert matrix.csr().data.size == 0
+
+
+class TestCachedDenseBackend:
+    @given(left=entries_strategy, right=entries_strategy)
+    @FAST_SETTINGS
+    def test_cached_dense_equals_scalar_dense_and_sparse(self, left, right):
+        left_matrix = CountMatrix(left)
+        right_matrix = CountMatrix(right)
+        cached, cached_stats = DenseBackend(use_csr_cache=True).multiply(left_matrix, right_matrix)
+        scalar, scalar_stats = DenseBackend(use_csr_cache=False).multiply(left_matrix, right_matrix)
+        sparse, _ = SparseBackend().multiply(left_matrix, right_matrix)
+        assert cached == scalar
+        assert cached == sparse
+        assert cached_stats.multiplications == scalar_stats.multiplications
+
+    def test_multiply_chain_reuses_operand_caches(self):
+        matrices = [
+            CountMatrix({(i, j): i + j + 1 for i in range(4) for j in range(4)})
+            for _ in range(3)
+        ]
+        engine = MatmulEngine()
+        first = engine.multiply_chain(matrices, backend="dense")
+        versions = [matrix.csr().version for matrix in matrices]
+        second = engine.multiply_chain(matrices, backend="dense")
+        assert first == second
+        # Operands were not mutated, so their cached CSR snapshots survived.
+        assert [matrix.csr().version for matrix in matrices] == versions
+        for matrix in matrices:
+            assert matrix.csr() is matrix.csr()
+
+    def test_mutation_between_multiplies_is_visible(self):
+        left = CountMatrix({("a", "m"): 1})
+        right = CountMatrix({("m", "z"): 1})
+        backend = DenseBackend()
+        product, _ = backend.multiply(left, right)
+        assert product.get("a", "z") == 1
+        left.add("a", "m", 2)  # invalidates the cached CSR
+        product, _ = backend.multiply(left, right)
+        assert product.get("a", "z") == 3
+
+
+class TestExactIntegerMatmul:
+    def test_matches_integer_product(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(-9, 9, size=(23, 17)).astype(np.int64)
+        right = rng.integers(-9, 9, size=(17, 31)).astype(np.int64)
+        assert np.array_equal(exact_integer_matmul(left, right), left @ right)
+
+    def test_falls_back_above_float_exact_bound(self):
+        huge = np.full((2, 2), 2**40, dtype=np.int64)
+        product = exact_integer_matmul(huge, huge)
+        assert np.array_equal(product, huge @ huge)
+
+    def test_empty_operands(self):
+        empty = np.zeros((0, 3), dtype=np.int64)
+        other = np.zeros((3, 2), dtype=np.int64)
+        assert exact_integer_matmul(empty, other).shape == (0, 2)
+
+
+class TestVectorizedFromDense:
+    @given(entries=entries_strategy)
+    @FAST_SETTINGS
+    def test_from_dense_round_trip(self, entries):
+        matrix = CountMatrix(entries)
+        rows = sorted(matrix.row_labels())
+        columns = sorted(matrix.column_labels())
+        dense = matrix.to_dense(rows, columns)
+        rebuilt = CountMatrix.from_dense(dense, rows, columns)
+        assert rebuilt == matrix
+        assert rebuilt.nnz == matrix.nnz
+
+    def test_from_dense_float_values_coerced(self):
+        dense = np.array([[0.0, 2.0], [3.0, 0.0]])
+        matrix = CountMatrix.from_dense(dense, ["a", "b"], ["x", "y"])
+        assert matrix.get("a", "y") == 2
+        assert isinstance(matrix.get("a", "y"), int)
+
+    def test_from_dense_duplicate_labels_sum_like_add(self):
+        dense = np.ones((2, 2), dtype=np.int64)
+        matrix = CountMatrix.from_dense(dense, ["a", "a"], ["x", "y"])
+        assert matrix.get("a", "x") == 2 and matrix.get("a", "y") == 2
+        assert matrix.nnz == 2
+        assert matrix.column_labels() == {"x", "y"}
+        assert matrix.csr().data.size == 2  # bookkeeping consistent with rows
+        by_columns = CountMatrix.from_dense(dense, ["a", "b"], ["x", "x"])
+        assert by_columns.get("a", "x") == 2 and by_columns.nnz == 2
+        product, _ = DenseBackend().multiply(matrix, CountMatrix({("x", "z"): 1}))
+        assert product.get("a", "z") == 2
