@@ -10,65 +10,77 @@ accounts sharing two common contacts, are a basic signal of similarity (and of
 coordinated behaviour).  This example simulates an evolving skewed network
 with a sliding activity window — old interactions expire — and keeps the exact
 4-cycle count available after every event, comparing the paper's main
-algorithm against the O(n) baseline along the way.
+algorithm against the O(n) baseline along the way.  Counters are driven
+through the :class:`repro.FourCycleEngine` facade; the engine's event hook
+surfaces the phase rebuilds the paper's algorithm performs under the hood.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro import AssadiShahCounter, WedgeCounter
+from repro import EngineConfig, FourCycleEngine, GeneratorSource
 from repro.instrumentation import fit_power_law
-from repro.workloads import power_law_stream, sliding_window_stream
 
 
 def motif_timeline() -> None:
     print("== 4-cycle motif count over a sliding activity window ==")
-    stream = sliding_window_stream(num_vertices=60, num_insertions=600, window_size=150, seed=11)
-    counter = AssadiShahCounter()
+    source = GeneratorSource(
+        "sliding-window", num_vertices=60, num_insertions=600, window_size=150, seed=11
+    )
+    stream = source.to_stream()
+    engine = FourCycleEngine(EngineConfig(counter="assadi-shah"))
+    rebuilds = []
+    engine.subscribe(rebuilds.append, kinds=["phase-rebuild"])
     checkpoints = max(1, len(stream) // 10)
     for index, update in enumerate(stream):
-        counter.apply(update)
+        engine.apply(update)
         if index % checkpoints == 0 or index == len(stream) - 1:
             kind = "insert" if update.is_insert else "expire"
             print(
-                f"event {index:4d} ({kind:>6}): live interactions = {counter.num_edges:4d}, "
-                f"4-cycle motifs = {counter.count}"
+                f"event {index:4d} ({kind:>6}): live interactions = {engine.num_edges:4d}, "
+                f"4-cycle motifs = {engine.count}"
             )
+    print(f"phase rebuilds observed through the event hook: {len(rebuilds)}")
     print()
 
 
 def skewed_growth_comparison() -> None:
     print("== Skewed growth: main algorithm vs the O(n) wedge baseline ==")
-    stream = power_law_stream(num_vertices=120, num_updates=1500, exponent=2.0, seed=12)
-    for counter in (AssadiShahCounter(), WedgeCounter()):
+    source = GeneratorSource(
+        "power-law", num_vertices=120, num_updates=1500, exponent=2.0, seed=12
+    )
+    for name in ("assadi-shah", "wedge"):
+        engine = FourCycleEngine(EngineConfig(counter=name))
         started = time.perf_counter()
-        counter.apply_all(stream)
+        engine.run(source)
         elapsed = time.perf_counter() - started
         print(
-            f"{counter.name:<12} final motifs = {counter.count:6d}   "
-            f"total ops = {counter.cost.total():9d}   wall clock = {elapsed:.3f}s"
+            f"{engine.name:<12} final motifs = {engine.count:6d}   "
+            f"total ops = {engine.cost.total():9d}   wall clock = {elapsed:.3f}s"
         )
     print()
 
 
 def growth_exponent_estimate() -> None:
     print("== Empirical growth of per-update cost with network size ==")
-    from repro.workloads import mixed_churn_stream
-
     sizes = (40, 80, 160)
     edge_counts = []
     costs = []
     for size in sizes:
-        stream = mixed_churn_stream(
-            num_vertices=size, num_updates=8 * size, target_live_edges=3 * size, seed=13
+        source = GeneratorSource(
+            "mixed-churn",
+            num_vertices=size,
+            num_updates=8 * size,
+            target_live_edges=3 * size,
+            seed=13,
         )
-        counter = AssadiShahCounter()
-        counter.apply_all(stream)
-        edge_counts.append(max(counter.num_edges, 1))
-        costs.append(counter.cost.total() / max(len(stream), 1))
+        engine = FourCycleEngine(EngineConfig(counter="assadi-shah"))
+        engine.run(source)
+        edge_counts.append(max(engine.num_edges, 1))
+        costs.append(engine.cost.total() / max(len(source), 1))
         print(
-            f"n = {size:4d}: m = {counter.num_edges:5d}, "
+            f"n = {size:4d}: m = {engine.num_edges:5d}, "
             f"mean ops/update = {costs[-1]:9.1f}"
         )
     exponent = fit_power_law(edge_counts, costs)

@@ -37,6 +37,20 @@ Quickstart::
     assert counter.count == 1
 """
 
+from repro.api import (
+    CounterSpec,
+    EngineConfig,
+    EngineEvent,
+    EngineSnapshot,
+    FourCycleEngine,
+    GeneratorSource,
+    ReplaySource,
+    TupleFeedSource,
+    UpdateSource,
+    available_specs,
+    counter_spec,
+    register_spec,
+)
 from repro.core import (
     AssadiShahCounter,
     BruteForceCounter,
@@ -71,6 +85,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "EngineConfig",
+    "FourCycleEngine",
+    "EngineEvent",
+    "EngineSnapshot",
+    "CounterSpec",
+    "counter_spec",
+    "available_specs",
+    "register_spec",
+    "UpdateSource",
+    "GeneratorSource",
+    "ReplaySource",
+    "TupleFeedSource",
     "DynamicFourCycleCounter",
     "BruteForceCounter",
     "WedgeCounter",

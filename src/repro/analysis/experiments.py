@@ -35,11 +35,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.registry import available_counters, create_counter
+from repro.api import EngineConfig, FourCycleEngine, available_counter_names
 from repro.db.ivm import CyclicJoinCountView
 from repro.exceptions import CounterStateError
 from repro.graph.dynamic_graph import DynamicGraph
-from repro.instrumentation.harness import run_counter, run_validated, time_replay
+from repro.instrumentation.harness import run_config, run_engine, run_validated, time_replay
 from repro.matmul.engine import CountMatrix, DenseBackend, MatmulEngine
 from repro.instrumentation.metrics import fit_power_law
 from repro.theory.exponents import comparison_table, omega_sweep, update_time_exponent
@@ -212,17 +212,17 @@ def experiment_e4_cross_validation(
 ) -> List[CrossValidationRow]:
     """E4: every counter agrees with brute force after every update, on every
     workload of the catalogue."""
-    names = sorted(counters if counters is not None else available_counters())
+    names = sorted(counters if counters is not None else available_counter_names())
     rows: List[CrossValidationRow] = []
     for workload_name, stream in stream_catalogue(scale=scale, seed=seed).items():
         stream = stream.prefix(updates_per_workload)
         for name in names:
-            counter = create_counter(name)
+            engine = FourCycleEngine(EngineConfig(counter=name))
             if name == "brute-force":
-                result = run_counter(counter, stream)
+                result = run_engine(engine, stream)
                 validated = True
             else:
-                result = run_validated(counter, stream)
+                result = run_validated(engine, stream)
                 validated = result.validated
             summary = result.summary()
             rows.append(
@@ -291,8 +291,7 @@ def experiment_e5_update_scaling(
             seed=seed,
         )
         for name in counters:
-            counter = create_counter(name)
-            run = run_counter(counter, stream)
+            run = run_config(EngineConfig(counter=name), stream)
             summary = run.summary()
             assert summary is not None
             point = ScalingPoint(
@@ -345,8 +344,7 @@ def experiment_e6_worst_case(
     stream = hub_adversarial_stream(num_vertices, num_updates, num_hubs=3, seed=seed)
     rows: List[WorstCaseRow] = []
     for name in counters:
-        counter = create_counter(name)
-        summary = run_counter(counter, stream).summary()
+        summary = run_config(EngineConfig(counter=name), stream).summary()
         assert summary is not None
         mean = max(summary.mean_operations, 1e-9)
         rows.append(
@@ -446,8 +444,10 @@ def experiment_e9_phase_ablation(
     stream = power_law_stream(num_vertices, num_updates, seed=seed)
     rows: List[PhaseAblationRow] = []
     for phase_length in phase_lengths:
-        counter = create_counter("phase-fmm", phase_length=phase_length)
-        summary = run_counter(counter, stream).summary()
+        engine = FourCycleEngine(
+            EngineConfig(counter="phase-fmm", options={"phase_length": phase_length})
+        )
+        summary = run_engine(engine, stream).summary()
         assert summary is not None
         rows.append(
             PhaseAblationRow(
@@ -455,7 +455,7 @@ def experiment_e9_phase_ablation(
                 mean_operations=summary.mean_operations,
                 p99_operations=summary.p99_operations,
                 max_operations=summary.max_operations,
-                phases_completed=counter.phases_completed,
+                phases_completed=engine.counter.phases_completed,
             )
         )
     return rows
@@ -498,19 +498,19 @@ def experiment_e10_batch_throughput(
     batch/unbatch exactness contract, measured rather than assumed.
     """
     stream = erdos_renyi_stream(num_vertices, num_updates, seed=seed)
-    names = sorted(counters if counters is not None else available_counters())
+    names = sorted(counters if counters is not None else available_counter_names())
     rows: List[BatchThroughputRow] = []
     for name in names:
         unbatched_seconds: Optional[float] = None
         final_counts = set()
         for batch_size in batch_sizes:
-            counter = create_counter(name)
-            elapsed = max(time_replay(counter, stream, batch_size=batch_size), 1e-9)
+            engine = FourCycleEngine(EngineConfig(counter=name, batch_size=batch_size))
+            elapsed = max(time_replay(engine, stream), 1e-9)
             if batch_size <= 1:
                 unbatched_seconds = elapsed
             # NaN when the sweep has no batch-size-1 baseline to compare with.
             speedup = unbatched_seconds / elapsed if unbatched_seconds is not None else float("nan")
-            final_counts.add(counter.count)
+            final_counts.add(engine.count)
             rows.append(
                 BatchThroughputRow(
                     counter=name,
@@ -519,8 +519,8 @@ def experiment_e10_batch_throughput(
                     seconds=elapsed,
                     updates_per_second=len(stream) / elapsed,
                     speedup_vs_unbatched=speedup,
-                    final_count=counter.count,
-                    consistent=counter.is_consistent(),
+                    final_count=engine.count,
+                    consistent=engine.is_consistent(),
                 )
             )
         if len(final_counts) > 1:
@@ -603,23 +603,25 @@ def experiment_e11_kernel_throughput(
     rows: List[KernelThroughputRow] = []
     for name in counters:
         variants = (
-            ("scalar", {"interned": False}, 1),
-            ("scalar-batch", {"interned": False}, batch_size),
-            ("vectorized", {"interned": True}, batch_size),
+            ("scalar", False, 1),
+            ("scalar-batch", False, batch_size),
+            ("vectorized", True, batch_size),
         )
         scalar_seconds: Optional[float] = None
         final_counts: Dict[str, int] = {}
-        for variant, kwargs, size in variants:
-            counter = create_counter(name, **kwargs)
-            seconds = max(time_replay(counter, stream, batch_size=size), 1e-9)
+        for variant, interned, size in variants:
+            engine = FourCycleEngine(
+                EngineConfig(counter=name, interned=interned, batch_size=size)
+            )
+            seconds = max(time_replay(engine, stream), 1e-9)
             if variant == "scalar":
                 scalar_seconds = seconds
-            if not counter.is_consistent():
+            if not engine.is_consistent():
                 raise CounterStateError(
                     f"E11: counter {name!r} variant {variant!r} is inconsistent "
-                    f"with a from-scratch recount (count={counter.count})"
+                    f"with a from-scratch recount (count={engine.count})"
                 )
-            final_counts[variant] = counter.count
+            final_counts[variant] = engine.count
             assert scalar_seconds is not None
             rows.append(
                 KernelThroughputRow(

@@ -1,0 +1,146 @@
+"""Typed, validated engine configuration.
+
+:class:`EngineConfig` is the single description of "how to run a counter" that
+every consumer — CLI, harness, benchmarks, examples, checkpoints — shares.  It
+captures the counter name, its counter-specific options, the batch size the
+stream is windowed into, and the interning/metrics/cost-model switches, and it
+round-trips through plain dictionaries (:meth:`EngineConfig.to_dict` /
+:meth:`EngineConfig.from_dict`) so it can live inside CLI arguments and JSON
+artifacts unchanged.
+
+Validation happens at construction time, against the counter's registered
+:class:`~repro.api.registry.CounterSpec`: an unknown counter name or an option
+the counter does not accept raises
+:class:`~repro.exceptions.ConfigurationError` here, at the API boundary,
+instead of a ``TypeError`` deep inside a constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.api.registry import counter_spec
+from repro.exceptions import ConfigurationError
+
+#: Options accepted by every counter but owned by :class:`EngineConfig` itself;
+#: they must be set through the config fields, not the options mapping, so a
+#: config never says the same thing twice.
+_RESERVED_OPTIONS = ("record_metrics", "interned")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything needed to build and drive a :class:`FourCycleEngine`.
+
+    ``options`` holds only counter-specific knobs (e.g. ``phase_length`` for
+    the phase-based counters); the switches shared by every counter —
+    ``interned`` and ``record_metrics`` — are top-level fields.
+    ``track_costs=False`` disables the operation-count cost model entirely,
+    which removes the per-operation accounting overhead from hot paths.
+    """
+
+    counter: str = "assadi-shah"
+    options: Mapping[str, object] = field(default_factory=dict)
+    batch_size: int = 1
+    interned: bool = True
+    record_metrics: bool = False
+    track_costs: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.batch_size, int) or isinstance(self.batch_size, bool):
+            raise ConfigurationError(
+                f"batch_size must be an integer, got {type(self.batch_size).__name__}"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be positive, got {self.batch_size}")
+        object.__setattr__(self, "options", dict(self.options))
+        reserved = sorted(set(self.options) & set(_RESERVED_OPTIONS))
+        if reserved:
+            raise ConfigurationError(
+                f"option{'s' if len(reserved) > 1 else ''} "
+                f"{', '.join(repr(name) for name in reserved)} must be set via the "
+                f"EngineConfig field of the same name, not the options mapping"
+            )
+        # Raises on unknown counter names and on options the counter's spec
+        # does not list (the reserved common options were handled above).
+        counter_spec(self.counter).validate_options(self.options)
+
+    @property
+    def spec(self):
+        """The :class:`~repro.api.registry.CounterSpec` this config targets."""
+        return counter_spec(self.counter)
+
+    def counter_kwargs(self) -> Dict[str, object]:
+        """The full keyword set to instantiate the counter with."""
+        return dict(self.options, record_metrics=self.record_metrics, interned=self.interned)
+
+    def with_updates(self, **changes) -> "EngineConfig":
+        """A copy of this config with the given fields replaced."""
+        payload = self.to_dict()
+        payload.update(changes)
+        return EngineConfig.from_dict(payload)
+
+    # -- dict round-trips ---------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-dict representation (JSON-friendly, CLI-friendly)."""
+        return {
+            "counter": self.counter,
+            "options": dict(self.options),
+            "batch_size": self.batch_size,
+            "interned": self.interned,
+            "record_metrics": self.record_metrics,
+            "track_costs": self.track_costs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EngineConfig":
+        """Inverse of :meth:`to_dict`; every key is optional, unknown keys are
+        rejected with a :class:`ConfigurationError`."""
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"engine config must be a mapping, got {type(payload).__name__}"
+            )
+        known = {
+            "counter", "options", "batch_size", "interned", "record_metrics", "track_costs",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown engine-config key{'s' if len(unknown) > 1 else ''}: "
+                f"{', '.join(repr(key) for key in unknown)}; expected a subset of "
+                f"{', '.join(sorted(known))}"
+            )
+        options = payload.get("options", {})
+        if not isinstance(options, Mapping):
+            raise ConfigurationError(
+                f"engine-config options must be a mapping, got {type(options).__name__}"
+            )
+        return cls(
+            counter=payload.get("counter", "assadi-shah"),
+            options=dict(options),
+            batch_size=payload.get("batch_size", 1),
+            interned=payload.get("interned", True),
+            record_metrics=payload.get("record_metrics", False),
+            track_costs=payload.get("track_costs", True),
+        )
+
+    @classmethod
+    def from_counter_kwargs(
+        cls, name: str, kwargs: Mapping[str, object], batch_size: int = 1
+    ) -> "EngineConfig":
+        """Build a config from a legacy ``create_counter``-style kwargs dict.
+
+        The shared ``interned``/``record_metrics`` keywords are lifted into
+        the matching config fields; everything else stays counter-specific.
+        """
+        options = dict(kwargs)
+        interned = bool(options.pop("interned", True))
+        record_metrics = bool(options.pop("record_metrics", False))
+        return cls(
+            counter=name,
+            options=options,
+            batch_size=batch_size,
+            interned=interned,
+            record_metrics=record_metrics,
+        )

@@ -1,0 +1,344 @@
+"""The unified engine facade over the dynamic 4-cycle counters.
+
+Every workload in this repo — CLI runs, the experiment harness, benchmarks,
+examples — drives a counter the same way: build it from a named registry
+entry, window an update stream into batches, apply the batches, and read the
+count at the boundaries.  :class:`FourCycleEngine` owns that loop behind one
+typed entry point, so scaling work (sharding, async ingestion, multi-backend)
+has a single seam to plug into:
+
+* construction from a validated :class:`~repro.api.config.EngineConfig`;
+* ``apply`` / ``apply_batch`` / ``stream`` over any
+  :class:`~repro.api.sources.UpdateSource`, with the batch size taken from the
+  config;
+* ``checkpoint()`` / ``restore()`` snapshots serialized through
+  :mod:`repro.io.serialization` — counts are bit-identical after a round-trip
+  (verified at restore time) and subsequent update trajectories match a
+  counter that never checkpointed, because every counter is exact and the
+  snapshot preserves the graph exactly;
+* a lightweight ``subscribe()`` event hook (update applied, batch boundary,
+  phase rebuild, checkpoint) for instrumentation that should not live inside
+  the counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.config import EngineConfig
+from repro.api.sources import UpdateSource, as_update_source, iter_windows
+from repro.exceptions import ConfigurationError, CounterStateError
+from repro.graph.updates import EdgeUpdate, UpdateBatch
+from repro.instrumentation.cost_model import CostModel
+from repro.instrumentation.metrics import UpdateMetrics
+
+#: Event kinds emitted by :meth:`FourCycleEngine.subscribe` subscribers.
+EVENT_UPDATE_APPLIED = "update-applied"
+EVENT_BATCH_APPLIED = "batch-applied"
+EVENT_PHASE_REBUILD = "phase-rebuild"
+EVENT_CHECKPOINT = "checkpoint"
+
+EVENT_KINDS = (
+    EVENT_UPDATE_APPLIED,
+    EVENT_BATCH_APPLIED,
+    EVENT_PHASE_REBUILD,
+    EVENT_CHECKPOINT,
+)
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One observation handed to engine subscribers."""
+
+    kind: str
+    count: int
+    updates_processed: int
+    num_edges: int
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """A restorable engine state: the config plus the exact graph.
+
+    The graph determines the count for every (exact) counter, so the snapshot
+    stores the config, the registered vertices (in registration order,
+    isolated ones included), the live edges, and the bookkeeping totals — and
+    nothing counter-specific.  Restoring rebuilds the counter's auxiliary
+    structures from the graph and verifies the count is bit-identical.
+    For on-disk snapshots vertex labels may be ints, strings, or nested
+    tuples of those (see :func:`repro.io.serialization.save_engine_snapshot`).
+    """
+
+    config: Dict[str, object]
+    count: int
+    updates_processed: int
+    vertices: Tuple
+    edges: Tuple[Tuple, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": dict(self.config),
+            "count": self.count,
+            "updates_processed": self.updates_processed,
+            "vertices": list(self.vertices),
+            "edges": [list(edge) for edge in self.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EngineSnapshot":
+        try:
+            return cls(
+                config=dict(payload["config"]),
+                count=int(payload["count"]),
+                updates_processed=int(payload["updates_processed"]),
+                vertices=tuple(payload["vertices"]),
+                edges=tuple((edge[0], edge[1]) for edge in payload["edges"]),
+            )
+        except (KeyError, TypeError, IndexError, ValueError) as error:
+            raise ConfigurationError(f"malformed engine snapshot: {error}") from error
+
+
+class FourCycleEngine:
+    """Facade owning one dynamic 4-cycle counter and its update pipeline."""
+
+    def __init__(self, config: Union[EngineConfig, str, None] = None, **overrides) -> None:
+        if config is None:
+            config = EngineConfig(**overrides)
+        elif isinstance(config, str):
+            config = EngineConfig(counter=config, **overrides)
+        elif isinstance(config, EngineConfig):
+            if overrides:
+                config = config.with_updates(**overrides)
+        else:
+            raise ConfigurationError(
+                f"expected an EngineConfig or a counter name, got {type(config).__name__}"
+            )
+        self._config = config
+        self._counter = config.spec.create(**config.counter_kwargs())
+        if not config.track_costs:
+            self._counter.cost.disable()
+        self._subscribers: List[Tuple[Callable[[EngineEvent], None], Optional[frozenset]]] = []
+        self._last_phases = getattr(self._counter, "phases_completed", None)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def counter(self):
+        """The owned counter (read-only use; the engine drives the updates)."""
+        return self._counter
+
+    @property
+    def name(self) -> str:
+        return self._counter.name
+
+    @property
+    def count(self) -> int:
+        """The current number of 4-cycles."""
+        return self._counter.count
+
+    @property
+    def num_edges(self) -> int:
+        return self._counter.num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        return self._counter.num_vertices
+
+    @property
+    def updates_processed(self) -> int:
+        return self._counter.updates_processed
+
+    @property
+    def graph(self):
+        return self._counter.graph
+
+    @property
+    def cost(self) -> CostModel:
+        return self._counter.cost
+
+    @property
+    def metrics(self) -> Optional[UpdateMetrics]:
+        return self._counter.metrics
+
+    def is_consistent(self) -> bool:
+        """Whether the maintained count matches a from-scratch recount."""
+        return self._counter.is_consistent()
+
+    # -- events --------------------------------------------------------------
+    def subscribe(
+        self,
+        callback: Callable[[EngineEvent], None],
+        kinds: Optional[Sequence[str]] = None,
+    ) -> Callable[[], None]:
+        """Register an event callback; returns an unsubscribe function.
+
+        ``kinds`` restricts delivery to a subset of :data:`EVENT_KINDS`
+        (default: all events).
+        """
+        wanted: Optional[frozenset] = None
+        if kinds is not None:
+            wanted = frozenset(kinds)
+            unknown = sorted(wanted - set(EVENT_KINDS))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown event kind{'s' if len(unknown) > 1 else ''}: "
+                    f"{', '.join(unknown)}; expected a subset of {', '.join(EVENT_KINDS)}"
+                )
+        entry = (callback, wanted)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(entry)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _emit(self, kind: str, **payload) -> None:
+        if not self._subscribers:
+            return
+        event = EngineEvent(
+            kind=kind,
+            count=self._counter.count,
+            updates_processed=self._counter.updates_processed,
+            num_edges=self._counter.num_edges,
+            payload=payload,
+        )
+        for callback, wanted in list(self._subscribers):
+            if wanted is None or kind in wanted:
+                callback(event)
+
+    def _check_phase_rebuild(self) -> None:
+        if self._last_phases is None:
+            return
+        phases = self._counter.phases_completed
+        if phases != self._last_phases:
+            self._emit(EVENT_PHASE_REBUILD, phases_completed=phases)
+            self._last_phases = phases
+
+    # -- updates -------------------------------------------------------------
+    def insert(self, u, v) -> int:
+        """Insert the edge ``{u, v}`` and return the new count."""
+        return self.apply(EdgeUpdate.insert(u, v))
+
+    def delete(self, u, v) -> int:
+        """Delete the edge ``{u, v}`` and return the new count."""
+        return self.apply(EdgeUpdate.delete(u, v))
+
+    def apply(self, update: EdgeUpdate) -> int:
+        """Apply one update and return the new count."""
+        count = self._counter.apply(update)
+        self._emit(EVENT_UPDATE_APPLIED, update=update)
+        self._check_phase_rebuild()
+        return count
+
+    def apply_batch(self, updates: Union[UpdateBatch, Iterable[EdgeUpdate]]) -> int:
+        """Apply one window of updates as a batch and return the new count."""
+        if isinstance(updates, UpdateBatch):
+            size = updates.raw_size
+        else:
+            updates = updates if hasattr(updates, "__len__") else list(updates)
+            size = len(updates)
+        count = self._counter.apply_batch(updates)
+        self._emit(EVENT_BATCH_APPLIED, size=size)
+        self._check_phase_rebuild()
+        return count
+
+    def stream(self, source) -> Iterator[int]:
+        """Drive a source through the engine, yielding batch-boundary counts.
+
+        The source is windowed into ``config.batch_size`` updates lazily, so
+        unbounded sources work; with ``batch_size == 1`` every update goes
+        through the per-update path and yields its count.  Counts are exact at
+        every yield point (the batch contract).
+        """
+        normalized = as_update_source(source)
+        if self._config.batch_size == 1:
+            for update in normalized:
+                yield self.apply(update)
+        else:
+            for window in iter_windows(normalized, self._config.batch_size):
+                yield self.apply_batch(window)
+
+    def run(self, source) -> int:
+        """Drain a source through :meth:`stream` and return the final count."""
+        count = self._counter.count
+        for count in self.stream(source):
+            pass
+        return count
+
+    def counts(self, source) -> List[int]:
+        """The list of batch-boundary counts for a (finite) source."""
+        return list(self.stream(source))
+
+    # -- snapshots -----------------------------------------------------------
+    def checkpoint(self, path=None) -> EngineSnapshot:
+        """Capture a restorable snapshot; optionally persist it to ``path``.
+
+        Serialization goes through
+        :func:`repro.io.serialization.save_engine_snapshot` (plain JSON).
+        """
+        graph = self._counter.graph
+        snapshot = EngineSnapshot(
+            config=self._config.to_dict(),
+            count=self._counter.count,
+            updates_processed=self._counter.updates_processed,
+            vertices=tuple(graph.vertices()),
+            edges=tuple(graph.edges()),
+        )
+        if path is not None:
+            from repro.io.serialization import save_engine_snapshot
+
+            save_engine_snapshot(snapshot.to_dict(), path)
+        self._emit(EVENT_CHECKPOINT, path=None if path is None else str(path))
+        return snapshot
+
+    @classmethod
+    def restore(
+        cls, source: Union[EngineSnapshot, Mapping, str, Path]
+    ) -> "FourCycleEngine":
+        """Rebuild an engine from a snapshot (object, dict, or saved path).
+
+        The restored counter replays the snapshot's edges through its own
+        (exact) bulk path, so the count after restore is bit-identical to the
+        checkpointed one — verified here, a mismatch raises
+        :class:`CounterStateError` — and subsequent updates produce the same
+        counts as an engine that never checkpointed.
+        """
+        if isinstance(source, (str, Path)):
+            from repro.io.serialization import load_engine_snapshot
+
+            snapshot = EngineSnapshot.from_dict(load_engine_snapshot(source))
+        elif isinstance(source, EngineSnapshot):
+            snapshot = source
+        elif isinstance(source, Mapping):
+            snapshot = EngineSnapshot.from_dict(source)
+        else:
+            raise ConfigurationError(
+                f"cannot restore from {type(source).__name__}; expected an "
+                f"EngineSnapshot, a snapshot dict, or a path"
+            )
+        engine = cls(EngineConfig.from_dict(snapshot.config))
+        engine._counter.load_state(
+            snapshot.vertices, snapshot.edges, updates_processed=snapshot.updates_processed
+        )
+        if engine.count != snapshot.count:
+            raise CounterStateError(
+                f"restored count {engine.count} does not match the checkpointed "
+                f"count {snapshot.count} for counter {engine.name!r}"
+            )
+        engine._last_phases = getattr(engine._counter, "phases_completed", None)
+        return engine
+
+    def __repr__(self) -> str:
+        return (
+            f"FourCycleEngine(counter={self.name!r}, count={self.count}, "
+            f"m={self.num_edges}, batch_size={self._config.batch_size})"
+        )

@@ -4,6 +4,9 @@ Installed as ``repro-4cycles``.  Subcommands:
 
 * ``constants`` — print the Theorem 1/2 parameter tables (experiments E1/E2)
   and the Appendix B constraint verification (E3).
+* ``counters`` — print the registry's capability table: one row per registered
+  :class:`~repro.api.CounterSpec` (update-time class, batch-hook support,
+  oracle use, accepted options).
 * ``compare`` — replay a synthetic workload through several counters and print
   the comparison table (a small version of experiments E4/E5).  With
   ``--batch-size N`` the replay goes through the batched update pipeline
@@ -17,27 +20,83 @@ Installed as ``repro-4cycles``.  Subcommands:
   ``--quick`` shrinks the workloads for CI smoke runs; exactness (identical
   counts between scalar and vectorized paths) is always enforced — a mismatch
   exits non-zero — while timing is reported, never gated.
+
+Every subcommand that runs counters goes through the :mod:`repro.api` facade:
+workloads are :class:`~repro.api.GeneratorSource` instances and counters are
+constructed from :class:`~repro.api.EngineConfig`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.core.registry import available_counters
+from repro.api import GeneratorSource, available_counter_names, available_specs
 from repro.instrumentation.harness import compare_counters, format_table, summary_table
 from repro.theory.exponents import comparison_table, omega_sweep
 from repro.theory.parameters import published_parameters, verify_published_parameters
-from repro.workloads.generators import erdos_renyi_stream, hub_adversarial_stream, power_law_stream
 
-_WORKLOADS = {
-    "erdos-renyi": erdos_renyi_stream,
-    "power-law": power_law_stream,
-    "hubs": hub_adversarial_stream,
-}
+#: Workloads whose generators share the uniform (num_vertices, num_updates,
+#: seed) signature; the catalogue's other entries need workload-specific
+#: parameters the CLI does not expose.
+_CLI_WORKLOADS = ("erdos-renyi", "hubs", "power-law")
 
 
+# ---------------------------------------------------------------------------
+# Shared argument utilities (used by every subcommand that takes them)
+# ---------------------------------------------------------------------------
+def _positive_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from error
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {parsed}")
+    return parsed
+
+
+def _nonnegative_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from error
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {parsed}")
+    return parsed
+
+
+def _batch_size_list(value: str) -> List[int]:
+    return [_positive_int(size) for size in value.split(",")]
+
+
+def _split_counters(value: str) -> Optional[List[str]]:
+    """Parse a comma-separated counter list; empty selects every counter."""
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    return names or None
+
+
+def _add_workload_arguments(
+    parser: argparse.ArgumentParser, default_vertices: int, default_updates: int
+) -> None:
+    """The stream-shape arguments shared by the replay subcommands."""
+    parser.add_argument("--vertices", type=_positive_int, default=default_vertices)
+    parser.add_argument("--updates", type=_positive_int, default=default_updates)
+    parser.add_argument("--seed", type=_nonnegative_int, default=0)
+
+
+def _add_counters_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--counters",
+        type=_split_counters,
+        default=None,
+        help="comma-separated counter names (default: all registered counters)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
 def _command_constants(_: argparse.Namespace) -> int:
     for which in ("current", "best"):
         published = published_parameters(which)
@@ -61,25 +120,32 @@ def _command_constants(_: argparse.Namespace) -> int:
     return 0
 
 
-def _positive_int(value: str) -> int:
-    try:
-        parsed = int(value)
-    except ValueError as error:
-        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from error
-    if parsed <= 0:
-        raise argparse.ArgumentTypeError(f"expected a positive integer, got {parsed}")
-    return parsed
-
-
-def _batch_size_list(value: str) -> list[int]:
-    return [_positive_int(size) for size in value.split(",")]
+def _command_counters(_: argparse.Namespace) -> int:
+    rows = []
+    for spec in available_specs():
+        rows.append(
+            {
+                "counter": spec.name,
+                "update_time": spec.asymptotic,
+                "batch_hook": "yes" if spec.supports_batch_hook else "no",
+                "oracle": "yes" if spec.needs_oracle else "no",
+                "options": ",".join(spec.option_names()) or "(unvalidated)",
+                "description": spec.description,
+            }
+        )
+    print(format_table(rows))
+    return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    workload = _WORKLOADS[args.workload]
-    stream = workload(args.vertices, args.updates, seed=args.seed)
-    names = args.counters.split(",") if args.counters else available_counters()
-    results = compare_counters(names, stream, batch_size=args.batch_size)
+    source = GeneratorSource(
+        args.workload,
+        num_vertices=args.vertices,
+        num_updates=args.updates,
+        seed=args.seed,
+    )
+    names = args.counters if args.counters else available_counter_names()
+    results = compare_counters(names, source.to_stream(), batch_size=args.batch_size)
     print(
         f"workload={args.workload} vertices={args.vertices} updates={args.updates} "
         f"batch-size={args.batch_size}"
@@ -91,12 +157,11 @@ def _command_compare(args: argparse.Namespace) -> int:
 def _command_batch_throughput(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import experiment_e10_batch_throughput
 
-    names = args.counters.split(",") if args.counters else None
     rows = experiment_e10_batch_throughput(
         num_vertices=args.vertices,
         num_updates=args.updates,
         batch_sizes=args.batch_sizes,
-        counters=names,
+        counters=args.counters,
         seed=args.seed,
     )
     print(f"{'counter':<14} {'batch':>6} {'upd/s':>12} {'speedup':>8}  consistent")
@@ -185,16 +250,15 @@ def build_parser() -> argparse.ArgumentParser:
     constants = subparsers.add_parser("constants", help="print the Theorem 1/2 parameter tables")
     constants.set_defaults(handler=_command_constants)
 
-    compare = subparsers.add_parser("compare", help="compare counters on a synthetic workload")
-    compare.add_argument("--workload", choices=sorted(_WORKLOADS), default="erdos-renyi")
-    compare.add_argument("--vertices", type=int, default=40)
-    compare.add_argument("--updates", type=int, default=300)
-    compare.add_argument("--seed", type=int, default=0)
-    compare.add_argument(
-        "--counters",
-        default="",
-        help="comma-separated counter names (default: all registered counters)",
+    counters = subparsers.add_parser(
+        "counters", help="print the registered counters and their capabilities"
     )
+    counters.set_defaults(handler=_command_counters)
+
+    compare = subparsers.add_parser("compare", help="compare counters on a synthetic workload")
+    compare.add_argument("--workload", choices=_CLI_WORKLOADS, default="erdos-renyi")
+    _add_workload_arguments(compare, default_vertices=40, default_updates=300)
+    _add_counters_argument(compare)
     compare.add_argument(
         "--batch-size",
         type=_positive_int,
@@ -210,20 +274,14 @@ def build_parser() -> argparse.ArgumentParser:
     throughput = subparsers.add_parser(
         "batch-throughput", help="updates/sec versus batch size (experiment E10)"
     )
-    throughput.add_argument("--vertices", type=int, default=24)
-    throughput.add_argument("--updates", type=int, default=1280)
-    throughput.add_argument("--seed", type=int, default=0)
+    _add_workload_arguments(throughput, default_vertices=24, default_updates=1280)
     throughput.add_argument(
         "--batch-sizes",
         type=_batch_size_list,
         default=[1, 8, 64, 256],
         help="comma-separated batch sizes to sweep (default: 1,8,64,256)",
     )
-    throughput.add_argument(
-        "--counters",
-        default="",
-        help="comma-separated counter names (default: all registered counters)",
-    )
+    _add_counters_argument(throughput)
     throughput.set_defaults(handler=_command_batch_throughput)
 
     bench = subparsers.add_parser(

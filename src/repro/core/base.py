@@ -57,7 +57,12 @@ import abc
 import time
 from typing import Hashable, Iterable, List, Optional, Union
 
-from repro.exceptions import DuplicateEdgeError, MissingEdgeError, SelfLoopError
+from repro.exceptions import (
+    CounterStateError,
+    DuplicateEdgeError,
+    MissingEdgeError,
+    SelfLoopError,
+)
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.static_counts import count_four_cycles_trace
 from repro.graph.updates import (
@@ -188,6 +193,37 @@ class DynamicFourCycleCounter(abc.ABC):
         contract); the last entry is the final count.
         """
         return [self.apply_batch(window) for window in stream.batched(batch_size)]
+
+    def load_state(
+        self,
+        vertices: Iterable[Vertex],
+        edges: Iterable[tuple[Vertex, Vertex]],
+        updates_processed: int = 0,
+    ) -> int:
+        """Load a snapshotted graph state into a freshly constructed counter.
+
+        Registers ``vertices`` (in order, so isolated vertices and interner id
+        assignment are reproduced), bulk-inserts ``edges`` through the exact
+        batched pipeline — which rebuilds every auxiliary structure — and then
+        resets the bookkeeping (update total, cost model, metrics) so the
+        restore itself leaves no trace in measurements.  Returns the count.
+        Used by :meth:`repro.api.engine.FourCycleEngine.restore`.
+        """
+        if self._updates_processed or self.num_edges:
+            raise CounterStateError(
+                "load_state requires a freshly constructed counter "
+                f"(updates={self._updates_processed}, m={self.num_edges})"
+            )
+        for vertex in vertices:
+            self._graph.add_vertex(vertex)
+        inserts = [EdgeUpdate.insert(u, v) for u, v in edges]
+        if inserts:
+            self.apply_batch(inserts)
+        self._updates_processed = updates_processed
+        self.cost.reset()
+        if self.metrics is not None:
+            self.metrics = UpdateMetrics()
+        return self._count
 
     def recount(self) -> int:
         """Recompute the 4-cycle count from scratch (for validation)."""

@@ -1,52 +1,69 @@
-"""Registry of the available dynamic 4-cycle counters.
+"""Legacy registry entry points, now shims over :mod:`repro.core.specs`.
 
-The harness, the CLI, and the benchmarks look counters up by name so that
-experiment definitions stay declarative.  Third-party counters can be added at
-runtime with :func:`register_counter`.
+The registry proper lives in :mod:`repro.core.specs` as capability-carrying
+:class:`~repro.core.specs.CounterSpec` descriptors; this module keeps the
+historical names alive:
+
+* :func:`register_counter` wraps a bare factory in an (unvalidated) spec so
+  third-party counters keep registering exactly as before;
+* :func:`available_counters` lists the registered names;
+* :func:`create_counter` still instantiates by name, but is **deprecated** in
+  favour of :class:`repro.api.EngineConfig` /
+  :class:`repro.api.FourCycleEngine` and emits a :class:`DeprecationWarning`.
+  Its kwargs are now validated against the counter's spec, so an unknown
+  option raises :class:`~repro.exceptions.ConfigurationError` naming the
+  option and the counter instead of a bare ``TypeError``.
+
+The spec module is imported lazily inside each function: it registers the
+built-in counters by importing their classes, so a module-level import here
+would re-enter :mod:`repro.core` while it is still initializing.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import warnings
+from typing import Callable, List
 
-from repro.core.assadi_shah import AssadiShahCounter
 from repro.core.base import DynamicFourCycleCounter
-from repro.core.brute_force import BruteForceCounter
-from repro.core.hhh22 import HHH22Counter
-from repro.core.phase_fmm import PhaseFMMCounter
-from repro.core.wedge_counter import WedgeCounter
-from repro.exceptions import ConfigurationError
 
 CounterFactory = Callable[..., DynamicFourCycleCounter]
 
-_REGISTRY: Dict[str, CounterFactory] = {}
-
 
 def register_counter(name: str, factory: CounterFactory, overwrite: bool = False) -> None:
-    """Register a counter factory under ``name``."""
-    if not overwrite and name in _REGISTRY:
-        raise ConfigurationError(f"counter {name!r} is already registered")
-    _REGISTRY[name] = factory
+    """Register a counter factory under ``name``.
+
+    Kept for third-party counters; the factory is wrapped in a
+    :class:`~repro.core.specs.CounterSpec` without an option list, so its
+    kwargs pass through unvalidated (the registry cannot know an arbitrary
+    factory's signature).  Prefer :func:`repro.api.register_spec` with a full
+    spec, which buys option validation and a row in the capability table.
+    """
+    from repro.core.specs import CounterSpec, register_spec
+
+    register_spec(CounterSpec.from_factory(name, factory), overwrite=overwrite)
 
 
 def available_counters() -> List[str]:
     """The sorted list of registered counter names."""
-    return sorted(_REGISTRY)
+    from repro.core.specs import available_counter_names
+
+    return available_counter_names()
 
 
 def create_counter(name: str, **kwargs) -> DynamicFourCycleCounter:
-    """Instantiate the counter registered under ``name``."""
-    factory = _REGISTRY.get(name)
-    if factory is None:
-        raise ConfigurationError(
-            f"unknown counter {name!r}; available: {', '.join(available_counters())}"
-        )
-    return factory(**kwargs)
+    """Instantiate the counter registered under ``name``.
 
+    .. deprecated::
+        Construct counters through :class:`repro.api.EngineConfig` and
+        :class:`repro.api.FourCycleEngine` instead; the facade owns batching,
+        snapshots, and events on top of the same validated construction.
+    """
+    from repro.core.specs import counter_spec
 
-# Built-in counters.
-register_counter(BruteForceCounter.name, BruteForceCounter)
-register_counter(WedgeCounter.name, WedgeCounter)
-register_counter(HHH22Counter.name, HHH22Counter)
-register_counter(PhaseFMMCounter.name, PhaseFMMCounter)
-register_counter(AssadiShahCounter.name, AssadiShahCounter)
+    warnings.warn(
+        "create_counter() is deprecated; construct counters via "
+        "repro.api.EngineConfig / FourCycleEngine instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return counter_spec(name).create(**kwargs)

@@ -6,9 +6,12 @@ from repro.instrumentation.harness import (
     RunResult,
     compare_counters,
     format_table,
+    run_config,
     run_counter,
+    run_engine,
     run_validated,
     summary_table,
+    time_replay,
 )
 from repro.instrumentation.metrics import (
     MetricsSummary,
@@ -28,8 +31,11 @@ __all__ = [
     "percentile",
     "fit_power_law",
     "RunResult",
+    "run_config",
     "run_counter",
+    "run_engine",
     "run_validated",
+    "time_replay",
     "compare_counters",
     "summary_table",
     "format_table",

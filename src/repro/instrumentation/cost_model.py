@@ -56,12 +56,31 @@ class CostSnapshot:
 class CostModel:
     """A mutable accumulator of per-category operation counts."""
 
-    def __init__(self) -> None:
+    def __init__(self, enabled: bool = True) -> None:
         self._categories: Dict[str, int] = {}
+        self._enabled = enabled
+
+    @property
+    def enabled(self) -> bool:
+        """Whether charges are being accumulated (see :meth:`disable`)."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Resume accumulating charges."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Drop all future charges (``EngineConfig(track_costs=False)``).
+
+        Counters charge on every elementary operation, so skipping the
+        dictionary update removes measurable overhead from hot paths when the
+        operation counts are not being reported.
+        """
+        self._enabled = False
 
     def charge(self, category: str, amount: int = 1) -> None:
         """Add ``amount`` operations to ``category``."""
-        if amount == 0:
+        if amount == 0 or not self._enabled:
             return
         self._categories[category] = self._categories.get(category, 0) + amount
 

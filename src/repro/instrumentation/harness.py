@@ -4,20 +4,33 @@ The harness is what the benchmarks and examples share: it replays an
 :class:`~repro.graph.updates.UpdateStream` through one or several counters,
 records per-update metrics, optionally validates every intermediate count
 against a reference counter, and produces comparable summaries.
+
+Counters are constructed through the :mod:`repro.api` facade:
+:func:`run_config` takes an :class:`~repro.api.EngineConfig`,
+:func:`run_engine` a live :class:`~repro.api.FourCycleEngine`, and the
+validation/comparison helpers accept either an engine or a bare counter.  The
+historical :func:`run_counter` (caller-constructed counter) still works but is
+deprecated.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import CounterStateError
 from repro.graph.updates import UpdateStream
 from repro.instrumentation.metrics import MetricsSummary, UpdateMetrics, UpdateRecord
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a circular import
+    from repro.api.config import EngineConfig
+    from repro.api.engine import FourCycleEngine
     from repro.core.base import DynamicFourCycleCounter
+
+    #: Anything the harness can drive: an engine facade or a raw counter.
+    RunTarget = Union[FourCycleEngine, DynamicFourCycleCounter]
 
 
 @dataclass
@@ -36,38 +49,91 @@ class RunResult:
         return self.metrics.summary() if self.metrics is not None else None
 
 
+def _resolve_batch_size(target: "RunTarget", batch_size: Optional[int]) -> int:
+    """An explicit ``batch_size`` wins; an engine falls back to its config."""
+    if batch_size is not None:
+        return batch_size
+    config = getattr(target, "config", None)
+    return config.batch_size if config is not None else 1
+
+
+def run_config(
+    config: "EngineConfig",
+    stream: UpdateStream,
+    record_counts: bool = True,
+) -> RunResult:
+    """Build an engine from ``config`` and replay ``stream`` through it.
+
+    The preferred entry point: construction, batching, and measurement all
+    derive from the one typed config.
+    """
+    from repro.api.engine import FourCycleEngine
+
+    return run_engine(FourCycleEngine(config), stream, record_counts=record_counts)
+
+
+def run_engine(
+    engine: "FourCycleEngine",
+    stream: UpdateStream,
+    record_counts: bool = True,
+    batch_size: Optional[int] = None,
+) -> RunResult:
+    """Replay ``stream`` through an engine and collect metrics.
+
+    Per-update metrics are recorded here (rather than relying on the engine's
+    own optional metrics) so any engine can be measured.  The batch size comes
+    from the engine's config unless overridden; with a batch size above 1 the
+    stream goes through ``apply_batch`` windows, one
+    :class:`~repro.instrumentation.metrics.UpdateRecord` per window, and
+    ``counts`` holds the (exact) batch-boundary counts.
+    """
+    return _replay(engine, stream, _resolve_batch_size(engine, batch_size), record_counts)
+
+
 def run_counter(
     counter: "DynamicFourCycleCounter",
     stream: UpdateStream,
     record_counts: bool = True,
     batch_size: int = 1,
 ) -> RunResult:
-    """Replay ``stream`` through ``counter`` and collect metrics.
+    """Replay ``stream`` through a caller-constructed counter.
 
-    Per-update metrics are recorded here (rather than relying on the counter's
-    own optional metrics) so any counter instance can be measured.
-
-    With ``batch_size > 1`` the stream is fed through the counter's
-    ``apply_batch`` fast path in windows of that size; one
-    :class:`~repro.instrumentation.metrics.UpdateRecord` is recorded per
-    window and ``counts`` holds the (exact) batch-boundary counts.
+    .. deprecated::
+        Construct through the facade and use :func:`run_config` /
+        :func:`run_engine` instead.
     """
+    warnings.warn(
+        "run_counter() is deprecated; use run_config()/run_engine() with "
+        "repro.api.EngineConfig / FourCycleEngine instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _replay(counter, stream, batch_size, record_counts)
+
+
+def _replay(
+    target: "RunTarget",
+    stream: UpdateStream,
+    batch_size: int,
+    record_counts: bool,
+) -> RunResult:
+    """Measured replay shared by engines and raw counters."""
     if batch_size > 1:
-        return _run_counter_batched(counter, stream, batch_size, record_counts)
+        return _replay_batched(target, stream, batch_size, record_counts)
     metrics = UpdateMetrics()
     counts: List[int] = []
     for index, update in enumerate(stream):
-        before_ops = counter.cost.snapshot()
+        before_ops = target.cost.snapshot()
         started = time.perf_counter()
-        count = counter.apply(update)
+        count = target.apply(update)
         elapsed = time.perf_counter() - started
-        spent = counter.cost.snapshot().diff(before_ops)
+        spent = target.cost.snapshot().diff(before_ops)
         metrics.record(
             UpdateRecord(
                 index=index,
                 operations=spent.total,
                 seconds=elapsed,
-                edge_count=counter.num_edges,
+                edge_count=target.num_edges,
                 is_insert=update.is_insert,
                 categories=dict(spent.categories),
             )
@@ -75,17 +141,17 @@ def run_counter(
         if record_counts:
             counts.append(count)
     return RunResult(
-        counter_name=counter.name,
+        counter_name=target.name,
         stream_length=len(stream),
-        final_count=counter.count,
-        final_edge_count=counter.num_edges,
+        final_count=target.count,
+        final_edge_count=target.num_edges,
         counts=counts,
         metrics=metrics,
     )
 
 
-def _run_counter_batched(
-    counter: "DynamicFourCycleCounter",
+def _replay_batched(
+    target: "RunTarget",
     stream: UpdateStream,
     batch_size: int,
     record_counts: bool,
@@ -94,63 +160,68 @@ def _run_counter_batched(
     metrics = UpdateMetrics()
     counts: List[int] = []
     for index, window in enumerate(stream.batched(batch_size)):
-        before_ops = counter.cost.snapshot()
-        edges_before = counter.num_edges
+        before_ops = target.cost.snapshot()
+        edges_before = target.num_edges
         started = time.perf_counter()
-        count = counter.apply_batch(window)
+        count = target.apply_batch(window)
         elapsed = time.perf_counter() - started
-        spent = counter.cost.snapshot().diff(before_ops)
+        spent = target.cost.snapshot().diff(before_ops)
         metrics.record(
             UpdateRecord(
                 index=index,
                 operations=spent.total,
                 seconds=elapsed,
-                edge_count=counter.num_edges,
+                edge_count=target.num_edges,
                 # Same labeling rule as the counter's own per-batch record:
                 # a batch counts as "insert" when its net edge delta is >= 0.
-                is_insert=counter.num_edges >= edges_before,
+                is_insert=target.num_edges >= edges_before,
                 categories=dict(spent.categories),
             )
         )
         if record_counts:
             counts.append(count)
     return RunResult(
-        counter_name=counter.name,
+        counter_name=target.name,
         stream_length=len(stream),
-        final_count=counter.count,
-        final_edge_count=counter.num_edges,
+        final_count=target.count,
+        final_edge_count=target.num_edges,
         counts=counts,
         metrics=metrics,
     )
 
 
 def time_replay(
-    counter: "DynamicFourCycleCounter",
+    target: "RunTarget",
     stream: UpdateStream,
-    batch_size: int = 1,
+    batch_size: Optional[int] = None,
 ) -> float:
-    """Wall-clock seconds to replay ``stream`` through ``counter``.
+    """Wall-clock seconds to replay ``stream`` through an engine or counter.
 
     The minimal timing loop shared by the throughput experiments (E10/E11):
     no metrics recording, no count collection — only the work a production
-    caller of the update API would do.  ``batch_size <= 1`` drives the
-    per-update ``apply`` path, larger sizes the ``apply_batch`` pipeline
-    (normalization included in the measured time).
+    caller of the update API would do.  A batch size of 1 (the default for
+    raw counters; engines default to their config) drives the per-update
+    ``apply`` path, larger sizes the ``apply_batch`` pipeline (normalization
+    included in the measured time).
     """
+    resolved = _resolve_batch_size(target, batch_size)
+    # Time the raw counter: the engine's event dispatch is not part of the
+    # counter kernels these experiments measure.
+    counter = getattr(target, "counter", target)
     started = time.perf_counter()
-    if batch_size <= 1:
+    if resolved <= 1:
         for update in stream:
             counter.apply(update)
     else:
-        for window in stream.batched(batch_size):
+        for window in stream.batched(resolved):
             counter.apply_batch(window)
     return time.perf_counter() - started
 
 
 def run_validated(
-    counter: "DynamicFourCycleCounter",
+    target: "RunTarget",
     stream: UpdateStream,
-    reference: Optional["DynamicFourCycleCounter"] = None,
+    reference: Optional["RunTarget"] = None,
     check_every: int = 1,
 ) -> RunResult:
     """Replay ``stream`` while cross-checking against a reference counter.
@@ -161,23 +232,23 @@ def run_validated(
     and of the integration tests.
     """
     if reference is None:
-        from repro.core.registry import create_counter
+        from repro.api.engine import FourCycleEngine
 
-        reference = create_counter("brute-force")
+        reference = FourCycleEngine("brute-force")
     if check_every <= 0:
         raise ValueError(f"check_every must be positive, got {check_every}")
     metrics = UpdateMetrics()
     counts: List[int] = []
     for index, update in enumerate(stream):
-        before_ops = counter.cost.snapshot()
+        before_ops = target.cost.snapshot()
         started = time.perf_counter()
-        count = counter.apply(update)
+        count = target.apply(update)
         elapsed = time.perf_counter() - started
-        spent = counter.cost.snapshot().diff(before_ops)
+        spent = target.cost.snapshot().diff(before_ops)
         expected = reference.apply(update)
         if index % check_every == 0 and count != expected:
             raise CounterStateError(
-                f"counter {counter.name!r} diverged at update #{index} "
+                f"counter {target.name!r} diverged at update #{index} "
                 f"({update!r}): got {count}, expected {expected}"
             )
         metrics.record(
@@ -185,22 +256,22 @@ def run_validated(
                 index=index,
                 operations=spent.total,
                 seconds=elapsed,
-                edge_count=counter.num_edges,
+                edge_count=target.num_edges,
                 is_insert=update.is_insert,
                 categories=dict(spent.categories),
             )
         )
         counts.append(count)
-    if counter.count != reference.count:
+    if target.count != reference.count:
         raise CounterStateError(
-            f"counter {counter.name!r} ended with count {counter.count}, "
+            f"counter {target.name!r} ended with count {target.count}, "
             f"reference ended with {reference.count}"
         )
     return RunResult(
-        counter_name=counter.name,
+        counter_name=target.name,
         stream_length=len(stream),
-        final_count=counter.count,
-        final_edge_count=counter.num_edges,
+        final_count=target.count,
+        final_edge_count=target.num_edges,
         counts=counts,
         metrics=metrics,
         validated=True,
@@ -217,16 +288,21 @@ def compare_counters(
 
     Returns a mapping from counter name to its :class:`RunResult`; all final
     counts are additionally cross-checked against each other.  ``batch_size``
-    selects the batched pipeline (see :func:`run_counter`).
+    selects the batched pipeline (see :func:`run_engine`).  Each counter is
+    built through :class:`~repro.api.EngineConfig` (``counter_kwargs`` entries
+    are legacy ``create_counter``-style dicts and are validated against the
+    counter's spec).
     """
-    from repro.core.registry import create_counter
+    from repro.api.config import EngineConfig
 
     counter_kwargs = counter_kwargs or {}
     results: Dict[str, RunResult] = {}
     final_counts = set()
     for name in counter_names:
-        counter = create_counter(name, **counter_kwargs.get(name, {}))
-        result = run_counter(counter, stream, batch_size=batch_size)
+        config = EngineConfig.from_counter_kwargs(
+            name, counter_kwargs.get(name, {}), batch_size=batch_size
+        )
+        result = run_config(config, stream)
         results[name] = result
         final_counts.add(result.final_count)
     if len(final_counts) > 1:

@@ -1,14 +1,17 @@
-"""Persistence helpers for streams, layered updates, metrics, and summaries."""
+"""Persistence helpers for streams, layered updates, metrics, summaries, and
+engine snapshots."""
 
 from repro.io.serialization import (
     edge_update_from_dict,
     edge_update_to_dict,
     layered_update_from_dict,
     layered_update_to_dict,
+    load_engine_snapshot,
     load_layered_updates,
     load_metrics_csv,
     load_stream,
     load_summary_json,
+    save_engine_snapshot,
     save_layered_updates,
     save_metrics_csv,
     save_stream,
@@ -28,4 +31,6 @@ __all__ = [
     "load_metrics_csv",
     "save_summary_json",
     "load_summary_json",
+    "save_engine_snapshot",
+    "load_engine_snapshot",
 ]

@@ -107,6 +107,81 @@ def load_layered_updates(path: PathLike) -> List[LayeredEdgeUpdate]:
 
 
 # ---------------------------------------------------------------------------
+# Engine snapshots
+# ---------------------------------------------------------------------------
+#: On-disk snapshot format version; bumped on incompatible layout changes.
+ENGINE_SNAPSHOT_VERSION = 1
+
+_SNAPSHOT_KEYS = ("config", "count", "updates_processed", "vertices", "edges")
+
+
+def save_engine_snapshot(snapshot: dict, path: PathLike) -> None:
+    """Persist a :class:`~repro.api.engine.EngineSnapshot` payload as JSON.
+
+    ``snapshot`` is the ``to_dict()`` form.  Vertex labels may be ints,
+    strings, or arbitrarily nested tuples of those (the layer-tagged labels a
+    :class:`~repro.api.sources.TupleFeedSource` produces): tuples are encoded
+    as JSON arrays and decoded back to tuples by
+    :func:`load_engine_snapshot`.  Other label types fail ``json.dumps`` here,
+    at save time.
+    """
+    missing = sorted(set(_SNAPSHOT_KEYS) - set(snapshot))
+    if missing:
+        raise ConfigurationError(
+            f"engine snapshot is missing key{'s' if len(missing) > 1 else ''}: "
+            f"{', '.join(missing)}"
+        )
+    payload = dict(snapshot, version=ENGINE_SNAPSHOT_VERSION)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+
+
+def _decode_snapshot_label(value):
+    """Undo JSON's tuple -> array encoding for one vertex label.
+
+    Unambiguous because vertex labels must be hashable: a decoded list can
+    only ever have started life as a tuple.
+    """
+    if isinstance(value, list):
+        return tuple(_decode_snapshot_label(item) for item in value)
+    return value
+
+
+def load_engine_snapshot(path: PathLike) -> dict:
+    """Read a snapshot written by :func:`save_engine_snapshot`.
+
+    Edge pairs and tuple vertex labels come back as tuples (JSON arrays
+    decode to lists, which are not hashable vertex material).
+    """
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"{source}: not valid JSON") from error
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"{source}: expected a JSON object, got {type(payload).__name__}"
+        )
+    version = payload.pop("version", None)
+    if version != ENGINE_SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"{source}: unsupported engine-snapshot version {version!r} "
+            f"(expected {ENGINE_SNAPSHOT_VERSION})"
+        )
+    missing = sorted(set(_SNAPSHOT_KEYS) - set(payload))
+    if missing:
+        raise ConfigurationError(
+            f"{source}: snapshot is missing key{'s' if len(missing) > 1 else ''}: "
+            f"{', '.join(missing)}"
+        )
+    payload["vertices"] = [_decode_snapshot_label(vertex) for vertex in payload["vertices"]]
+    payload["edges"] = [
+        (_decode_snapshot_label(edge[0]), _decode_snapshot_label(edge[1]))
+        for edge in payload["edges"]
+    ]
+    return payload
+
+
+# ---------------------------------------------------------------------------
 # Metrics
 # ---------------------------------------------------------------------------
 _METRICS_COLUMNS = ("index", "operations", "seconds", "edge_count", "is_insert")

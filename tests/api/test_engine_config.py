@@ -1,0 +1,79 @@
+"""Tests for the typed engine configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EngineConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = EngineConfig()
+        assert config.counter == "assadi-shah"
+        assert config.batch_size == 1
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown counter"):
+            EngineConfig(counter="does-not-exist")
+
+    def test_unknown_option_rejected_at_boundary(self):
+        with pytest.raises(ConfigurationError, match=r"'bogus'.*'wedge'"):
+            EngineConfig(counter="wedge", options={"bogus": 1})
+
+    def test_reserved_options_must_use_fields(self):
+        with pytest.raises(ConfigurationError, match="interned"):
+            EngineConfig(counter="wedge", options={"interned": False})
+        with pytest.raises(ConfigurationError, match="record_metrics"):
+            EngineConfig(counter="wedge", options={"record_metrics": True})
+
+    @pytest.mark.parametrize("batch_size", [0, -3, 1.5, True])
+    def test_bad_batch_size_rejected(self, batch_size):
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            EngineConfig(counter="wedge", batch_size=batch_size)
+
+    def test_counter_specific_options_accepted(self):
+        config = EngineConfig(counter="phase-fmm", options={"phase_length": 9})
+        assert config.counter_kwargs()["phase_length"] == 9
+
+
+class TestRoundTrips:
+    def test_to_from_dict_round_trip(self):
+        config = EngineConfig(
+            counter="assadi-shah",
+            options={"phase_length": 32},
+            batch_size=64,
+            interned=False,
+            record_metrics=True,
+            track_costs=False,
+        )
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown engine-config key"):
+            EngineConfig.from_dict({"counter": "wedge", "bogus": 1})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig.from_dict([("counter", "wedge")])
+        with pytest.raises(ConfigurationError):
+            EngineConfig.from_dict({"counter": "wedge", "options": ["phase_length"]})
+
+    def test_from_counter_kwargs_lifts_common_options(self):
+        config = EngineConfig.from_counter_kwargs(
+            "phase-fmm",
+            {"phase_length": 5, "interned": False, "record_metrics": True},
+            batch_size=8,
+        )
+        assert config.interned is False
+        assert config.record_metrics is True
+        assert config.options == {"phase_length": 5}
+        assert config.batch_size == 8
+
+    def test_with_updates(self):
+        config = EngineConfig(counter="wedge")
+        updated = config.with_updates(batch_size=16)
+        assert updated.batch_size == 16
+        assert updated.counter == "wedge"
+        assert config.batch_size == 1  # original unchanged

@@ -1,0 +1,123 @@
+"""Tests for the update-source protocol and its adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    GeneratorSource,
+    ReplaySource,
+    TupleFeedSource,
+    UpdateSource,
+    as_update_source,
+    iter_windows,
+)
+from repro.db.ivm import TupleUpdate
+from repro.exceptions import ConfigurationError, InvalidUpdateError
+from repro.graph.updates import EdgeUpdate, LayeredEdgeUpdate, UpdateStream
+from repro.io.serialization import save_stream
+
+
+class TestProtocol:
+    def test_update_stream_is_a_source(self):
+        assert isinstance(UpdateStream(), UpdateSource)
+
+    def test_as_update_source_wraps_sequences(self):
+        updates = [EdgeUpdate.insert(1, 2), EdgeUpdate.insert(2, 3)]
+        source = as_update_source(updates)
+        assert list(source) == updates
+
+    def test_as_update_source_rejects_non_iterables(self):
+        with pytest.raises(ConfigurationError):
+            as_update_source(42)
+
+    def test_iter_windows_chunks_lazily(self):
+        updates = [EdgeUpdate.insert(i, i + 1) for i in range(7)]
+        windows = list(iter_windows(UpdateStream(updates), 3))
+        assert [len(window) for window in windows] == [3, 3, 1]
+        assert [update for window in windows for update in window] == updates
+
+    def test_iter_windows_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            list(iter_windows(UpdateStream(), 0))
+
+
+class TestGeneratorSource:
+    def test_known_workload_is_reiterable_and_sized(self):
+        source = GeneratorSource("erdos-renyi", num_vertices=10, num_updates=50, seed=1)
+        first = list(source)
+        second = list(source)
+        assert first == second
+        assert len(source) == 50
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            GeneratorSource("not-a-workload", num_vertices=4, num_updates=4)
+
+
+class TestReplaySource:
+    def test_round_trips_a_saved_stream(self, tmp_path):
+        stream = UpdateStream(
+            [EdgeUpdate.insert(1, 2), EdgeUpdate.insert(2, 3), EdgeUpdate.delete(1, 2)]
+        )
+        path = tmp_path / "stream.jsonl"
+        save_stream(stream, path)
+        source = ReplaySource(path)
+        assert list(source) == list(stream)
+        assert source.to_stream() == stream  # and it is re-iterable
+
+    def test_bad_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"u": 1, "v": 2, "kind": "insert"}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="broken.jsonl:2"):
+            list(ReplaySource(path))
+
+
+class TestTupleFeedSource:
+    def test_encodes_the_cyclic_chain_as_tagged_edges(self):
+        feed = TupleFeedSource(
+            [
+                TupleUpdate.insert("A", 1, 2),
+                LayeredEdgeUpdate.insert("B", 2, 3),
+                TupleUpdate.delete("A", 1, 2),
+            ]
+        )
+        updates = list(feed)
+        assert updates[0] == EdgeUpdate.insert(("L1", 1), ("L2", 2))
+        assert updates[1] == EdgeUpdate.insert(("L2", 2), ("L3", 3))
+        assert updates[2].is_delete
+        # D wraps back to L1.
+        wrap = next(iter(TupleFeedSource([TupleUpdate.insert("D", 9, 8)])))
+        assert wrap == EdgeUpdate.insert(("L4", 9), ("L1", 8))
+
+    def test_custom_relation_names(self):
+        feed = TupleFeedSource(
+            [TupleUpdate.insert("Orders", "alice", "widget")],
+            relations=("Orders", "Parts", "Offers", "Coverage"),
+        )
+        assert next(iter(feed)) == EdgeUpdate.insert(("L1", "alice"), ("L2", "widget"))
+
+    def test_unknown_relation_rejected(self):
+        feed = TupleFeedSource([TupleUpdate.insert("X", 1, 2)])
+        with pytest.raises(InvalidUpdateError, match="unknown relation"):
+            list(feed)
+
+    def test_chain_shape_validated(self):
+        with pytest.raises(ConfigurationError):
+            TupleFeedSource([], relations=("A", "B"))
+        with pytest.raises(ConfigurationError):
+            TupleFeedSource([], relations=("A", "A", "B", "C"))
+
+    def test_closed_chain_produces_one_four_cycle(self):
+        from repro.api import EngineConfig, FourCycleEngine
+
+        feed = TupleFeedSource(
+            [
+                TupleUpdate.insert("A", 1, 1),
+                TupleUpdate.insert("B", 1, 1),
+                TupleUpdate.insert("C", 1, 1),
+                TupleUpdate.insert("D", 1, 1),
+            ]
+        )
+        engine = FourCycleEngine(EngineConfig(counter="brute-force"))
+        assert engine.run(feed) == 1

@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.core.registry import available_counters, create_counter
+from repro.api import available_counter_names, counter_spec
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.updates import EdgeUpdate, UpdateStream
 
@@ -70,10 +70,10 @@ def k4_graph() -> DynamicGraph:
     return DynamicGraph(edges=k4_edges())
 
 
-@pytest.fixture(params=sorted(available_counters()))
+@pytest.fixture(params=sorted(available_counter_names()))
 def any_counter(request):
     """Parametrized fixture yielding a fresh instance of every registered counter."""
-    return create_counter(request.param)
+    return counter_spec(request.param).create()
 
 
 @pytest.fixture

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.registry import available_counters, create_counter
+from repro.api import available_counter_names, counter_spec
 from repro.graph.static_counts import count_four_cycles_trace
 from repro.graph.updates import UpdateStream
 from repro.instrumentation.harness import run_validated
@@ -24,51 +24,51 @@ from repro.workloads.generators import (
 
 from tests.conftest import complete_bipartite_edges, expected_bipartite_cycles, random_dynamic_stream
 
-ALL_COUNTERS = sorted(available_counters())
+ALL_COUNTERS = sorted(available_counter_names())
 
 
 @pytest.mark.parametrize("name", ALL_COUNTERS)
 class TestAgainstBruteForce:
     def test_random_stream_small(self, name):
         stream = random_dynamic_stream(num_vertices=10, num_updates=100, seed=1)
-        result = run_validated(create_counter(name), stream)
+        result = run_validated(counter_spec(name).create(), stream)
         assert result.validated
 
     def test_random_stream_denser(self, name):
         stream = random_dynamic_stream(num_vertices=9, num_updates=140, seed=2, delete_fraction=0.4)
-        result = run_validated(create_counter(name), stream)
+        result = run_validated(counter_spec(name).create(), stream)
         assert result.validated
 
     def test_erdos_renyi_workload(self, name):
         stream = erdos_renyi_stream(num_vertices=16, num_updates=130, seed=3)
-        assert run_validated(create_counter(name), stream).validated
+        assert run_validated(counter_spec(name).create(), stream).validated
 
     def test_power_law_workload(self, name):
         stream = power_law_stream(num_vertices=18, num_updates=130, seed=4)
-        assert run_validated(create_counter(name), stream).validated
+        assert run_validated(counter_spec(name).create(), stream).validated
 
     def test_hub_adversarial_workload(self, name):
         """Hubs force vertices into the high/dense classes and across them."""
         stream = hub_adversarial_stream(num_vertices=18, num_updates=140, num_hubs=2, seed=5)
-        assert run_validated(create_counter(name), stream).validated
+        assert run_validated(counter_spec(name).create(), stream).validated
 
     def test_sliding_window_workload(self, name):
         stream = sliding_window_stream(num_vertices=14, num_insertions=80, window_size=25, seed=6)
-        assert run_validated(create_counter(name), stream).validated
+        assert run_validated(counter_spec(name).create(), stream).validated
 
     def test_complete_bipartite_closed_form(self, name):
-        counter = create_counter(name)
+        counter = counter_spec(name).create()
         counter.apply_all(complete_bipartite_stream(4, 5))
         assert counter.count == expected_bipartite_cycles(4, 5)
 
     def test_teardown_to_empty(self, name):
-        counter = create_counter(name)
+        counter = counter_spec(name).create()
         stream = UpdateStream.build_then_teardown(complete_bipartite_edges(3, 4))
         counter.apply_all(stream)
         assert counter.count == 0
 
     def test_final_count_matches_static_recount(self, name):
         stream = random_dynamic_stream(num_vertices=12, num_updates=90, seed=8)
-        counter = create_counter(name)
+        counter = counter_spec(name).create()
         counter.apply_all(stream)
         assert counter.count == count_four_cycles_trace(counter.graph)

@@ -1,4 +1,4 @@
-"""Tests for the counter registry."""
+"""Tests for the legacy counter-registry shims (see tests/api for the specs)."""
 
 from __future__ import annotations
 
@@ -17,18 +17,28 @@ class TestRegistry:
     def test_builtins_registered(self):
         assert EXPECTED_BUILTINS.issubset(set(available_counters()))
 
-    def test_create_counter(self):
-        counter = create_counter("wedge")
+    def test_create_counter_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="create_counter"):
+            counter = create_counter("wedge")
         assert isinstance(counter, DynamicFourCycleCounter)
         assert counter.name == "wedge"
 
     def test_create_with_kwargs(self):
-        counter = create_counter("phase-fmm", phase_length=7)
+        with pytest.warns(DeprecationWarning):
+            counter = create_counter("phase-fmm", phase_length=7)
         assert counter.phase_length == 7
 
     def test_unknown_name(self):
-        with pytest.raises(ConfigurationError):
-            create_counter("does-not-exist")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                create_counter("does-not-exist")
+
+    def test_unknown_option_raises_configuration_error(self):
+        """Regression: a bad kwarg must raise ConfigurationError naming the
+        option and the counter, not a bare TypeError from the constructor."""
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError, match=r"'bogus'.*'wedge'"):
+                create_counter("wedge", bogus=1)
 
     def test_register_and_overwrite_protection(self):
         register_counter("custom-test-counter", BruteForceCounter, overwrite=True)
@@ -36,6 +46,13 @@ class TestRegistry:
         with pytest.raises(ConfigurationError):
             register_counter("custom-test-counter", BruteForceCounter)
         register_counter("custom-test-counter", BruteForceCounter, overwrite=True)
+
+    def test_legacy_registration_skips_option_validation(self):
+        """Bare factories have unknown signatures; their kwargs pass through."""
+        register_counter("custom-test-counter", BruteForceCounter, overwrite=True)
+        with pytest.warns(DeprecationWarning):
+            counter = create_counter("custom-test-counter", interned=False)
+        assert isinstance(counter, BruteForceCounter)
 
     def test_available_counters_sorted(self):
         names = available_counters()

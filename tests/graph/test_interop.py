@@ -6,7 +6,7 @@ import pytest
 
 networkx = pytest.importorskip("networkx")
 
-from repro.core.registry import create_counter
+from repro.api import counter_spec
 from repro.exceptions import ConfigurationError
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.interop import (
@@ -47,7 +47,7 @@ class TestConversions:
         graph = networkx.cycle_graph(4)
         stream = stream_from_networkx(graph)
         assert len(stream) == 4
-        counter = create_counter("wedge")
+        counter = counter_spec("wedge").create()
         counter.apply_all(stream)
         assert counter.count == 1
 
@@ -72,7 +72,7 @@ class TestThirdOpinionCounts:
         expected = count_four_cycles_networkx(graph)
         stream = stream_from_networkx(graph)
         for name in ("wedge", "hhh22", "assadi-shah"):
-            counter = create_counter(name)
+            counter = counter_spec(name).create()
             counter.apply_all(stream)
             assert counter.count == expected
 

@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.registry import create_counter
+from repro.api import EngineConfig, FourCycleEngine
 from repro.exceptions import CounterStateError
 from repro.instrumentation.harness import (
     compare_counters,
     format_table,
+    run_config,
     run_counter,
+    run_engine,
     run_validated,
     summary_table,
 )
@@ -21,7 +23,7 @@ from tests.conftest import k4_edges, random_dynamic_stream
 class TestRunCounter:
     def test_run_records_metrics_and_counts(self):
         stream = UpdateStream.from_edges(k4_edges())
-        result = run_counter(create_counter("wedge"), stream)
+        result = run_config(EngineConfig(counter="wedge"), stream)
         assert result.final_count == 3
         assert result.stream_length == 6
         assert len(result.counts) == 6
@@ -30,13 +32,13 @@ class TestRunCounter:
 
     def test_run_without_counts(self):
         stream = UpdateStream.from_edges(k4_edges())
-        result = run_counter(create_counter("wedge"), stream, record_counts=False)
+        result = run_config(EngineConfig(counter="wedge"), stream, record_counts=False)
         assert result.counts == []
 
 
 class TestRunValidated:
     def test_passes_for_correct_counter(self, small_stream):
-        result = run_validated(create_counter("hhh22"), small_stream)
+        result = run_validated(FourCycleEngine("hhh22"), small_stream)
         assert result.validated
 
     def test_detects_divergence(self):
@@ -44,7 +46,7 @@ class TestRunValidated:
             name = "broken"
 
             def __init__(self):
-                self.inner = create_counter("wedge")
+                self.inner = FourCycleEngine("wedge").counter
                 self.cost = self.inner.cost
 
             def apply(self, update):
@@ -64,10 +66,10 @@ class TestRunValidated:
             run_validated(BrokenCounter(), stream)
 
     def test_check_every_validation(self, small_stream):
-        result = run_validated(create_counter("wedge"), small_stream, check_every=5)
+        result = run_validated(FourCycleEngine("wedge"), small_stream, check_every=5)
         assert result.validated
         with pytest.raises(ValueError):
-            run_validated(create_counter("wedge"), small_stream, check_every=0)
+            run_validated(FourCycleEngine("wedge"), small_stream, check_every=0)
 
 
 class TestCompareCounters:
@@ -97,8 +99,8 @@ class TestCompareCounters:
 class TestBatchedRun:
     def test_batched_run_matches_unbatched_final_state(self):
         stream = random_dynamic_stream(num_vertices=12, num_updates=96, seed=21)
-        unbatched = run_counter(create_counter("wedge"), stream)
-        batched = run_counter(create_counter("wedge"), stream, batch_size=16)
+        unbatched = run_config(EngineConfig(counter="wedge"), stream)
+        batched = run_config(EngineConfig(counter="wedge", batch_size=16), stream)
         assert batched.final_count == unbatched.final_count
         assert batched.final_edge_count == unbatched.final_edge_count
         assert batched.stream_length == len(stream)
@@ -109,8 +111,8 @@ class TestBatchedRun:
 
     def test_batched_counts_are_boundary_counts(self):
         stream = random_dynamic_stream(num_vertices=10, num_updates=60, seed=3)
-        unbatched = run_counter(create_counter("brute-force"), stream)
-        batched = run_counter(create_counter("brute-force"), stream, batch_size=20)
+        unbatched = run_config(EngineConfig(counter="brute-force"), stream)
+        batched = run_config(EngineConfig(counter="brute-force", batch_size=20), stream)
         assert batched.counts == unbatched.counts[19::20]
 
     def test_compare_counters_batched(self):
@@ -118,3 +120,27 @@ class TestBatchedRun:
         results = compare_counters(["brute-force", "wedge"], stream, batch_size=32)
         finals = {result.final_count for result in results.values()}
         assert len(finals) == 1
+
+
+class TestRunEngine:
+    def test_engine_batch_size_comes_from_config(self):
+        stream = random_dynamic_stream(num_vertices=10, num_updates=60, seed=9)
+        engine = FourCycleEngine(EngineConfig(counter="wedge", batch_size=20))
+        result = run_engine(engine, stream)
+        assert len(result.counts) == 3  # one boundary count per window
+        assert result.final_count == engine.count
+
+    def test_explicit_batch_size_overrides_config(self):
+        stream = random_dynamic_stream(num_vertices=10, num_updates=60, seed=9)
+        engine = FourCycleEngine(EngineConfig(counter="wedge", batch_size=20))
+        result = run_engine(engine, stream, batch_size=1)
+        assert len(result.counts) == len(stream)
+
+
+class TestDeprecatedShims:
+    def test_run_counter_warns_and_still_works(self):
+        stream = UpdateStream.from_edges(k4_edges())
+        counter = FourCycleEngine("wedge").counter
+        with pytest.warns(DeprecationWarning, match="run_counter"):
+            result = run_counter(counter, stream)
+        assert result.final_count == 3

@@ -9,8 +9,8 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.graph.reduction import expand_general_update
 from repro.graph.updates import EdgeUpdate, UpdateStream
-from repro.instrumentation.harness import run_counter
-from repro.core.registry import create_counter
+from repro.api import EngineConfig, counter_spec
+from repro.instrumentation.harness import run_config
 from repro.io import (
     edge_update_from_dict,
     edge_update_to_dict,
@@ -76,8 +76,8 @@ class TestStreamFiles:
         stream = erdos_renyi_stream(14, 100, seed=2)
         path = tmp_path / "stream.jsonl"
         save_stream(stream, path)
-        first = create_counter("wedge")
-        second = create_counter("wedge")
+        first = counter_spec("wedge").create()
+        second = counter_spec("wedge").create()
         first.apply_all(stream)
         second.apply_all(load_stream(path))
         assert first.count == second.count
@@ -86,7 +86,7 @@ class TestStreamFiles:
 class TestMetricsFiles:
     def test_metrics_round_trip(self, tmp_path):
         stream = UpdateStream.from_edges([(1, 2), (2, 3), (3, 4), (4, 1)])
-        result = run_counter(create_counter("hhh22"), stream)
+        result = run_config(EngineConfig(counter="hhh22"), stream)
         path = tmp_path / "metrics.csv"
         save_metrics_csv(result.metrics, path)
         loaded = load_metrics_csv(path)
@@ -110,3 +110,51 @@ class TestMetricsFiles:
         path.write_text("{}", encoding="utf-8")
         with pytest.raises(ConfigurationError):
             load_summary_json(path)
+
+
+class TestEngineSnapshotFiles:
+    def test_save_rejects_incomplete_snapshot(self, tmp_path):
+        from repro.io.serialization import save_engine_snapshot
+
+        with pytest.raises(ConfigurationError, match="missing key"):
+            save_engine_snapshot({"count": 1}, tmp_path / "snap.json")
+
+    def test_load_rejects_bad_version_and_bad_json(self, tmp_path):
+        from repro.io.serialization import load_engine_snapshot, save_engine_snapshot
+
+        path = tmp_path / "snap.json"
+        save_engine_snapshot(
+            {
+                "config": {"counter": "wedge"},
+                "count": 0,
+                "updates_processed": 0,
+                "vertices": [],
+                "edges": [],
+            },
+            path,
+        )
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="version"):
+            load_engine_snapshot(path)
+        path.write_text("not json")
+        with pytest.raises(ConfigurationError):
+            load_engine_snapshot(path)
+
+    def test_load_converts_edges_to_tuples(self, tmp_path):
+        from repro.io.serialization import load_engine_snapshot, save_engine_snapshot
+
+        path = tmp_path / "snap.json"
+        save_engine_snapshot(
+            {
+                "config": {"counter": "wedge"},
+                "count": 0,
+                "updates_processed": 2,
+                "vertices": [1, 2],
+                "edges": [(1, 2)],
+            },
+            path,
+        )
+        loaded = load_engine_snapshot(path)
+        assert loaded["edges"] == [(1, 2)]

@@ -15,6 +15,19 @@ class TestCli:
         assert "Appendix B constraints: satisfied" in output
         assert "0.65686" in output or "0.656856" in output
 
+    def test_counters_command_prints_capability_table(self, capsys):
+        assert main(["counters"]) == 0
+        output = capsys.readouterr().out
+        for name in ("assadi-shah", "brute-force", "hhh22", "phase-fmm", "wedge"):
+            assert name in output
+        assert "batch_hook" in output and "oracle" in output
+        assert "phase_length" in output  # options column lists counter knobs
+        assert "O(n)" in output  # asymptotic class column
+
+    def test_compare_rejects_bad_vertices(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compare", "--vertices", "-3"])
+
     def test_compare_command(self, capsys):
         assert main(["compare", "--vertices", "12", "--updates", "60", "--counters", "wedge,hhh22"]) == 0
         output = capsys.readouterr().out

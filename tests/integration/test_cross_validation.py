@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.assadi_shah import AssadiShahThreePathOracle
 from repro.core.layered import LayeredFourCycleCounter
-from repro.core.registry import available_counters
+from repro.api import available_counter_names
 from repro.db.ivm import CyclicJoinCountView
 from repro.graph.reduction import expand_general_update
 from repro.instrumentation.harness import compare_counters, run_validated, summary_table
@@ -24,20 +24,20 @@ class TestAllCountersOnCatalogue:
     @pytest.mark.parametrize("workload_name", ["erdos-renyi", "power-law", "hubs"])
     def test_counters_agree_on_workload(self, workload_name):
         stream = stream_catalogue(scale=1, seed=3)[workload_name].prefix(120)
-        results = compare_counters(sorted(available_counters()), stream)
+        results = compare_counters(sorted(available_counter_names()), stream)
         rows = summary_table(results)
-        assert len(rows) == len(available_counters())
+        assert len(rows) == len(available_counter_names())
         finals = {result.final_count for result in results.values()}
         assert len(finals) == 1
 
     def test_validated_against_brute_force_on_churn(self):
         stream = stream_catalogue(scale=1, seed=5)["churn"].prefix(120)
-        for name in sorted(available_counters()):
+        for name in sorted(available_counter_names()):
             if name == "brute-force":
                 continue
-            from repro.core.registry import create_counter
+            from repro.api import counter_spec
 
-            assert run_validated(create_counter(name), stream).validated
+            assert run_validated(counter_spec(name).create(), stream).validated
 
 
 class TestGeneralVersusLayeredPipeline:
@@ -46,12 +46,12 @@ class TestGeneralVersusLayeredPipeline:
         its count equal to the general graph's closed-4-walk count, while the
         general counter keeps the exact 4-cycle count — the two views the
         paper's equivalence connects."""
-        from repro.core.registry import create_counter
+        from repro.api import counter_spec
         from repro.graph.dynamic_graph import DynamicGraph
         from repro.graph.static_counts import count_closed_four_walks, count_four_cycles_trace
 
         stream = random_dynamic_stream(num_vertices=9, num_updates=80, seed=55)
-        general = create_counter("phase-fmm", phase_length=10)
+        general = counter_spec("phase-fmm").create(phase_length=10)
         layered = LayeredFourCycleCounter(
             oracle_factory=lambda: AssadiShahThreePathOracle(phase_length=10)
         )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.registry import available_counters, create_counter
+from repro.api import available_counter_names, counter_spec
 from repro.db.ivm import CyclicJoinCountView
 from repro.graph.updates import EdgeUpdate
 from repro.workloads.join_workloads import batched_join_workload, random_join_workload
@@ -30,14 +30,14 @@ def boundary_indices(total: int, batch_size: int) -> list[int]:
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2])
-@pytest.mark.parametrize("name", sorted(available_counters()))
+@pytest.mark.parametrize("name", sorted(available_counter_names()))
 def test_counter_batch_unbatch_equivalence(name, seed):
     stream = random_dynamic_stream(num_vertices=14, num_updates=STREAM_LENGTH, seed=seed,
                                    delete_fraction=0.35)
-    reference = create_counter(name)
+    reference = counter_spec(name).create()
     trajectory = [reference.apply(update) for update in stream]
     for batch_size in BATCH_SIZES:
-        counter = create_counter(name)
+        counter = counter_spec(name).create()
         boundary_counts = [counter.apply_batch(window) for window in stream.batched(batch_size)]
         expected = [trajectory[index] for index in boundary_indices(len(stream), batch_size)]
         assert boundary_counts == expected, (
@@ -69,10 +69,10 @@ def test_ivm_view_batch_unbatch_equivalence(seed):
         assert view.is_consistent()
 
 
-@pytest.mark.parametrize("name", sorted(available_counters()))
+@pytest.mark.parametrize("name", sorted(available_counter_names()))
 def test_counter_cancellation_within_batch(name):
     """A window whose inserts and deletes annihilate is a no-op for the count."""
-    counter = create_counter(name)
+    counter = counter_spec(name).create()
     counter.insert_edge(0, 1)
     counter.insert_edge(1, 2)
     counter.insert_edge(2, 3)

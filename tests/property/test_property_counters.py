@@ -10,11 +10,11 @@ from __future__ import annotations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.registry import available_counters, create_counter
+from repro.api import available_counter_names, counter_spec
 from repro.graph.static_counts import count_four_cycles_trace, count_four_cycles_wedges
 from repro.graph.updates import EdgeUpdate, UpdateStream
 
-COUNTER_NAMES = sorted(available_counters())
+COUNTER_NAMES = sorted(available_counter_names())
 FAST_SETTINGS = settings(
     max_examples=25,
     deadline=None,
@@ -69,7 +69,7 @@ def test_static_oracles_agree(stream):
 @given(stream=consistent_streams())
 @FAST_SETTINGS
 def test_wedge_counter_matches_static(stream):
-    counter = create_counter("wedge")
+    counter = counter_spec("wedge").create()
     counter.apply_all(stream)
     assert counter.count == count_four_cycles_trace(counter.graph)
 
@@ -77,7 +77,7 @@ def test_wedge_counter_matches_static(stream):
 @given(stream=consistent_streams())
 @FAST_SETTINGS
 def test_hhh22_matches_static(stream):
-    counter = create_counter("hhh22")
+    counter = counter_spec("hhh22").create()
     counter.apply_all(stream)
     assert counter.count == count_four_cycles_trace(counter.graph)
 
@@ -85,7 +85,7 @@ def test_hhh22_matches_static(stream):
 @given(stream=consistent_streams(max_updates=40), phase_length=st.integers(min_value=1, max_value=20))
 @FAST_SETTINGS
 def test_phase_fmm_matches_static_for_any_phase_length(stream, phase_length):
-    counter = create_counter("phase-fmm", phase_length=phase_length)
+    counter = counter_spec("phase-fmm").create(phase_length=phase_length)
     counter.apply_all(stream)
     assert counter.count == count_four_cycles_trace(counter.graph)
 
@@ -93,7 +93,7 @@ def test_phase_fmm_matches_static_for_any_phase_length(stream, phase_length):
 @given(stream=consistent_streams(max_updates=40), phase_length=st.integers(min_value=1, max_value=20))
 @FAST_SETTINGS
 def test_assadi_shah_matches_static_for_any_phase_length(stream, phase_length):
-    counter = create_counter("assadi-shah", phase_length=phase_length)
+    counter = counter_spec("assadi-shah").create(phase_length=phase_length)
     counter.apply_all(stream)
     assert counter.count == count_four_cycles_trace(counter.graph)
 
@@ -103,7 +103,7 @@ def test_assadi_shah_matches_static_for_any_phase_length(stream, phase_length):
 def test_all_counters_agree_pairwise(stream):
     counts = set()
     for name in COUNTER_NAMES:
-        counter = create_counter(name)
+        counter = counter_spec(name).create()
         counter.apply_all(stream)
         counts.add(counter.count)
     assert len(counts) == 1
@@ -113,7 +113,7 @@ def test_all_counters_agree_pairwise(stream):
 @FAST_SETTINGS
 def test_insert_then_delete_is_identity(stream):
     """Applying a stream and then its exact reversal restores a zero count."""
-    counter = create_counter("wedge")
+    counter = counter_spec("wedge").create()
     counter.apply_all(stream)
     for update in reversed(list(stream)):
         counter.apply(update.inverse())

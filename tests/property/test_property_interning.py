@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.registry import available_counters, create_counter
+from repro.api import available_counter_names, counter_spec
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.updates import EdgeUpdate
 
@@ -23,13 +23,13 @@ BATCH_SIZES = (1, 7, 64)
 
 
 def _trajectory(name: str, stream, batch_size: int, interned: bool) -> list[int]:
-    counter = create_counter(name, interned=interned)
+    counter = counter_spec(name).create(interned=interned)
     if batch_size <= 1:
         return [counter.apply(update) for update in stream]
     return [counter.apply_batch(window) for window in stream.batched(batch_size)]
 
 
-@pytest.mark.parametrize("name", sorted(available_counters()))
+@pytest.mark.parametrize("name", sorted(available_counter_names()))
 @pytest.mark.parametrize("batch_size", BATCH_SIZES)
 def test_interned_and_scalar_trajectories_identical(name, batch_size):
     """Interned and scalar paths agree at every (batch-boundary) count."""
@@ -39,11 +39,11 @@ def test_interned_and_scalar_trajectories_identical(name, batch_size):
     assert interned == scalar
 
 
-@pytest.mark.parametrize("name", sorted(available_counters()))
+@pytest.mark.parametrize("name", sorted(available_counter_names()))
 def test_interned_counter_is_consistent_after_mixed_batches(name):
     """Ragged batch sizes through the interned fast paths stay exact."""
     stream = random_dynamic_stream(num_vertices=12, num_updates=120, seed=5)
-    counter = create_counter(name, interned=True)
+    counter = counter_spec(name).create(interned=True)
     position = 0
     for size in (1, 7, 64, 3, 45):
         window = stream[position:position + size]

@@ -119,11 +119,11 @@ class TestBatchedCatalogue:
             assert all(len(window) <= 32 for window in windows)
 
     def test_windows_drive_apply_batch(self):
-        from repro.core.registry import create_counter
+        from repro.api import counter_spec
         from repro.workloads.generators import batched_stream_catalogue
 
         windows = batched_stream_catalogue(batch_size=64, seed=1)["erdos-renyi"]
-        counter = create_counter("wedge")
+        counter = counter_spec("wedge").create()
         for window in windows:
             counter.apply_batch(window)
         assert counter.is_consistent()
