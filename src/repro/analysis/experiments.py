@@ -26,6 +26,10 @@ The experiments:
   (counter batch hooks, cached-CSR dense ``multiply_chain``, interned graph
   microkernels) against the label-keyed scalar paths, with bit-identical
   counts asserted across every variant.
+* **E12** — sparse-versus-dense product backends: the CSR SpGEMM backend
+  against the dict sparse backend and dense BLAS on sparse, uniform, and
+  dense instances, plus the wedge counter's incremental batch hook against
+  its full rebuild — bit-identical results enforced on every row.
 """
 
 from __future__ import annotations
@@ -37,10 +41,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.api import EngineConfig, FourCycleEngine, available_counter_names
 from repro.db.ivm import CyclicJoinCountView
-from repro.exceptions import CounterStateError
+from repro.exceptions import ConfigurationError, CounterStateError
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.instrumentation.harness import run_config, run_engine, run_validated, time_replay
-from repro.matmul.engine import CountMatrix, DenseBackend, MatmulEngine
+from repro.matmul.engine import CountMatrix, CsrBackend, DenseBackend, MatmulEngine, SparseBackend
 from repro.instrumentation.metrics import fit_power_law
 from repro.theory.exponents import comparison_table, omega_sweep, update_time_exponent
 from repro.theory.parameters import (
@@ -484,6 +488,7 @@ def experiment_e10_batch_throughput(
     batch_sizes: Sequence[int] = (1, 8, 64, 256),
     counters: Optional[Sequence[str]] = None,
     seed: int = 0,
+    backend: str = "auto",
 ) -> List[BatchThroughputRow]:
     """E10: end-to-end updates/sec of the batch pipeline versus batch size.
 
@@ -504,7 +509,9 @@ def experiment_e10_batch_throughput(
         unbatched_seconds: Optional[float] = None
         final_counts = set()
         for batch_size in batch_sizes:
-            engine = FourCycleEngine(EngineConfig(counter=name, batch_size=batch_size))
+            engine = FourCycleEngine(
+                EngineConfig(counter=name, batch_size=batch_size, backend=backend)
+            )
             elapsed = max(time_replay(engine, stream), 1e-9)
             if batch_size <= 1:
                 unbatched_seconds = elapsed
@@ -579,6 +586,7 @@ def experiment_e11_kernel_throughput(
     chain_density: float = 0.25,
     chain_repeats: int = 5,
     seed: int = 0,
+    backend: str = "auto",
 ) -> List[KernelThroughputRow]:
     """E11: vectorized kernels versus the label-keyed scalar paths.
 
@@ -611,7 +619,7 @@ def experiment_e11_kernel_throughput(
         final_counts: Dict[str, int] = {}
         for variant, interned, size in variants:
             engine = FourCycleEngine(
-                EngineConfig(counter=name, interned=interned, batch_size=size)
+                EngineConfig(counter=name, interned=interned, batch_size=size, backend=backend)
             )
             seconds = max(time_replay(engine, stream), 1e-9)
             if variant == "scalar":
@@ -743,6 +751,296 @@ def _e11_graph_microkernel_rows(stream, seed: int) -> List[KernelThroughputRow]:
                 per_second=operations / timings[variant],
                 speedup_vs_scalar=timings["scalar"] / timings[variant],
                 exact=True,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E12 — sparse-vs-dense SpGEMM backends and the incremental wedge hook
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpgemmBackendRow:
+    """Throughput of one backend (or batch-hook mode) on one instance.
+
+    For the product family ``operations`` is the expansion work (the
+    backend-independent multiplication count) and ``speedup_vs_baseline`` is
+    relative to the dict :class:`~repro.matmul.engine.SparseBackend` on the
+    same instance; for the wedge family ``operations`` counts stream updates
+    and the baseline is the forced full rebuild.  ``consistent`` records the
+    bit-identity check — it must be true on every row (the CI perf-smoke job
+    gates on it); timing is reported, never gated.
+    """
+
+    kernel: str
+    variant: str
+    parameters: str
+    operations: int
+    seconds: float
+    per_second: float
+    speedup_vs_baseline: float
+    consistent: bool
+
+
+#: Backends the E12 product family can sweep.
+E12_PRODUCT_BACKENDS = ("sparse", "csr", "dense")
+
+
+def _community_count_matrix(num_communities: int, size: int) -> CountMatrix:
+    """A clique-community adjacency: sparse overall, locally dense.
+
+    The self-product of this matrix is the wedge rebuild shape: expansion
+    work ``~ size`` times larger than the output (every pair inside a
+    community collides once per common neighbor), which is where SpGEMM's
+    per-operation advantage over dict probing shows fully.  Labels are
+    composite tuples — the case the interned kernels target (tuples do not
+    cache their hash, so every dict probe of the scalar backend re-hashes;
+    see the E11 microkernel rationale).
+    """
+    matrix = CountMatrix()
+    for community in range(num_communities):
+        base = community * size
+        for a in range(base, base + size):
+            for b in range(base, base + size):
+                if a != b:
+                    matrix.add(("shard", a, a * a), ("shard", b, b * b), 1)
+    return matrix
+
+
+def _uniform_count_matrix(
+    dimension: int, density: float, rng: random.Random, row_prefix: str, column_prefix: str
+) -> CountMatrix:
+    """A uniformly random integer matrix with string labels."""
+    matrix = CountMatrix()
+    for i in range(dimension):
+        for j in range(dimension):
+            if rng.random() < density:
+                matrix.add(
+                    f"{row_prefix}{i:05d}", f"{column_prefix}{j:05d}", rng.randint(1, 4)
+                )
+    return matrix
+
+
+def _e12_product_instances(
+    community_count: int, community_size: int, uniform_dimension: int, dense_dimension: int,
+    seed: int,
+):
+    """The three product instances: sparse-structured, sparse-uniform, dense."""
+    rng = random.Random(seed)
+    communities = _community_count_matrix(community_count, community_size)
+    dimension = community_count * community_size
+    yield (
+        f"communities(n={dimension},density={communities.nnz / dimension ** 2:.3%})",
+        communities,
+        communities,
+    )
+    uniform_left = _uniform_count_matrix(uniform_dimension, 0.01, rng, "r", "m")
+    uniform_right = _uniform_count_matrix(uniform_dimension, 0.01, rng, "m", "c")
+    yield (f"uniform(n={uniform_dimension},density=1%)", uniform_left, uniform_right)
+    dense_left = _uniform_count_matrix(dense_dimension, 0.3, rng, "r", "m")
+    dense_right = _uniform_count_matrix(dense_dimension, 0.3, rng, "m", "c")
+    yield (f"dense(n={dense_dimension},density=30%)", dense_left, dense_right)
+
+
+def experiment_e12_spgemm_backends(
+    community_count: int = 128,
+    community_size: int = 48,
+    uniform_dimension: int = 512,
+    dense_dimension: int = 192,
+    wedge_vertices: int = 2048,
+    wedge_base_edges: int = 12288,
+    wedge_churn_updates: int = 2560,
+    wedge_batch_size: int = 128,
+    backends: Sequence[str] = E12_PRODUCT_BACKENDS,
+    product_repeats: int = 1,
+    seed: int = 0,
+) -> List[SpgemmBackendRow]:
+    """E12: CSR SpGEMM versus the dict and dense backends, plus the
+    incremental wedge batch hook versus its full rebuild.
+
+    Two families:
+
+    * **Product backends** — each instance of
+      :func:`_e12_product_instances` is multiplied on every selected backend;
+      the products must be identical matrices and must report the identical
+      multiplication count (the expansion work is backend-independent), or
+      :class:`~repro.exceptions.CounterStateError` is raised.  The interned
+      CSR snapshots are warmed before timing: they are shared mutation-keyed
+      state (built at most once per matrix, amortized across any product
+      chain) and the dict baseline never uses them.  ``product_repeats`` runs
+      every backend that many times and reports the minimum (applied to all
+      backends equally — min-of-N removes scheduler noise from the recorded
+      artifact without favouring any kernel).
+    * **Wedge batch hook** — a large random graph is built in bulk and then
+      churned with small delete/insert windows
+      (:func:`_e12_wedge_churn_stream`: a standing graph with
+      ``wedge_base_edges`` edges, batches touching a small fraction of it —
+      the regime the incremental ``ΔW`` merge targets), replayed with the
+      hook forced to full rebuilds, forced incremental, and in automatic
+      mode; every run's final count must match the full-rebuild trajectory
+      and a from-scratch recount.
+
+    ``consistent`` is true on every returned row by construction — a mismatch
+    raises instead of being reported.
+    """
+    unknown = sorted(set(backends) - set(E12_PRODUCT_BACKENDS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown E12 backend{'s' if len(unknown) > 1 else ''}: {', '.join(unknown)}; "
+            f"expected a subset of {', '.join(E12_PRODUCT_BACKENDS)}"
+        )
+    import time
+
+    rows: List[SpgemmBackendRow] = []
+    factories = {
+        "sparse": SparseBackend,
+        "csr": CsrBackend,
+        "dense": DenseBackend,
+    }
+    ordered = [name for name in E12_PRODUCT_BACKENDS if name in backends]
+    if "sparse" not in ordered:
+        ordered.insert(0, "sparse")  # the baseline always runs
+    for instance, left, right in _e12_product_instances(
+        community_count, community_size, uniform_dimension, dense_dimension, seed
+    ):
+        left.csr()
+        right.csr()
+        timings: Dict[str, float] = {}
+        results: Dict[str, CountMatrix] = {}
+        work: Dict[str, int] = {}
+        for name in ordered:
+            backend = factories[name]()
+            best = None
+            for _ in range(max(product_repeats, 1)):
+                started = time.perf_counter()
+                product, stats = backend.multiply(left, right)
+                elapsed = max(time.perf_counter() - started, 1e-9)
+                best = elapsed if best is None else min(best, elapsed)
+            timings[name] = best
+            results[name] = product
+            # The dense backend reports dense flops; the combinatorial work
+            # column uses the sparse expansion size shared by dict and CSR.
+            work[name] = stats.multiplications
+        for name in ordered:
+            if results[name] != results["sparse"]:
+                raise CounterStateError(
+                    f"E12: backend {name!r} product diverged on {instance}"
+                )
+        if "csr" in work and work["csr"] != work["sparse"]:
+            raise CounterStateError(
+                f"E12: CSR expansion work {work['csr']} does not match the dict "
+                f"backend's {work['sparse']} on {instance}"
+            )
+        operations = work["sparse"]
+        for name in ordered:
+            if name not in backends and name == "sparse":
+                continue  # baseline ran for verification only
+            rows.append(
+                SpgemmBackendRow(
+                    kernel=f"product:{instance}",
+                    variant=name,
+                    parameters=f"nnz={left.nnz}+{right.nnz} out={results[name].nnz}",
+                    operations=operations,
+                    seconds=timings[name],
+                    per_second=operations / timings[name],
+                    speedup_vs_baseline=timings["sparse"] / timings[name],
+                    consistent=True,
+                )
+            )
+    rows.extend(
+        _e12_wedge_hook_rows(
+            wedge_vertices, wedge_base_edges, wedge_churn_updates, wedge_batch_size, seed
+        )
+    )
+    return rows
+
+
+def _e12_wedge_churn_stream(
+    num_vertices: int, base_edges: int, churn_updates: int, seed: int
+):
+    """A bulk-built random graph followed by small delete/insert churn.
+
+    The build prefix inserts ``base_edges`` random edges; the churn suffix
+    alternates deleting a random live edge and inserting a random absent one,
+    keeping the standing graph size constant — so each churn batch touches a
+    small fraction of the graph, which is the regime that separates the
+    incremental wedge hook from a full rebuild.
+    """
+    from repro.graph.updates import EdgeUpdate, UpdateStream
+
+    rng = random.Random(seed)
+    live: Dict[tuple, int] = {}
+    while len(live) < base_edges:
+        u, v = rng.randrange(num_vertices), rng.randrange(num_vertices)
+        if u != v:
+            live.setdefault((min(u, v), max(u, v)), len(live))
+    edge_list = list(live)
+    updates = [EdgeUpdate.insert(u, v) for u, v in edge_list]
+    live_set = set(edge_list)
+    for step in range(churn_updates):
+        if step % 2 == 0:
+            index = rng.randrange(len(edge_list))
+            edge = edge_list[index]
+            last = edge_list[-1]
+            edge_list[index] = last
+            edge_list.pop()
+            live_set.discard(edge)
+            updates.append(EdgeUpdate.delete(*edge))
+        else:
+            while True:
+                u, v = rng.randrange(num_vertices), rng.randrange(num_vertices)
+                if u != v and (min(u, v), max(u, v)) not in live_set:
+                    break
+            edge = (min(u, v), max(u, v))
+            edge_list.append(edge)
+            live_set.add(edge)
+            updates.append(EdgeUpdate.insert(*edge))
+    return UpdateStream(updates)
+
+
+def _e12_wedge_hook_rows(
+    num_vertices: int, base_edges: int, churn_updates: int, batch_size: int, seed: int
+) -> List[SpgemmBackendRow]:
+    """Incremental versus full-rebuild wedge batch hook on a churn stream."""
+    stream = _e12_wedge_churn_stream(num_vertices, base_edges, churn_updates, seed)
+    modes = (("full-rebuild", False), ("incremental", True), ("auto", None))
+    timings: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    rows: List[SpgemmBackendRow] = []
+    for variant, incremental in modes:
+        engine = FourCycleEngine(
+            EngineConfig(
+                counter="wedge",
+                options={"incremental": incremental},
+                batch_size=batch_size,
+                track_costs=False,
+            )
+        )
+        timings[variant] = max(time_replay(engine, stream), 1e-9)
+        counts[variant] = engine.count
+        if not engine.is_consistent():
+            raise CounterStateError(
+                f"E12: wedge hook mode {variant!r} is inconsistent with a "
+                f"from-scratch recount (count={engine.count})"
+            )
+    if len(set(counts.values())) > 1:
+        raise CounterStateError(
+            f"E12: wedge hook counts diverged across modes: {counts}"
+        )
+    for variant, _ in modes:
+        rows.append(
+            SpgemmBackendRow(
+                kernel="wedge-batch-hook",
+                variant=variant,
+                parameters=(
+                    f"n={num_vertices} base_m={base_edges} "
+                    f"churn={churn_updates} batch={batch_size}"
+                ),
+                operations=len(stream),
+                seconds=timings[variant],
+                per_second=len(stream) / timings[variant],
+                speedup_vs_baseline=timings["full-rebuild"] / timings[variant],
+                consistent=True,
             )
         )
     return rows

@@ -26,7 +26,12 @@ from repro.exceptions import ConfigurationError
 #: Options accepted by every counter but owned by :class:`EngineConfig` itself;
 #: they must be set through the config fields, not the options mapping, so a
 #: config never says the same thing twice.
-_RESERVED_OPTIONS = ("record_metrics", "interned")
+_RESERVED_OPTIONS = ("record_metrics", "interned", "backend")
+
+#: Matmul backends a counter's batch kernels accept (mirrors
+#: :data:`repro.matmul.scheduler.PRODUCT_BACKENDS`; duplicated literally so a
+#: config error does not require importing the matmul layer).
+_BACKEND_CHOICES = ("auto", "dense", "csr")
 
 
 @dataclass(frozen=True)
@@ -35,7 +40,9 @@ class EngineConfig:
 
     ``options`` holds only counter-specific knobs (e.g. ``phase_length`` for
     the phase-based counters); the switches shared by every counter —
-    ``interned`` and ``record_metrics`` — are top-level fields.
+    ``interned``, ``record_metrics``, and the batch-kernel matmul ``backend``
+    (``"auto"`` dispatches dense BLAS versus CSR SpGEMM per product by density;
+    ``"dense"``/``"csr"`` pin the kernel) — are top-level fields.
     ``track_costs=False`` disables the operation-count cost model entirely,
     which removes the per-operation accounting overhead from hot paths.
     """
@@ -46,6 +53,7 @@ class EngineConfig:
     interned: bool = True
     record_metrics: bool = False
     track_costs: bool = True
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not isinstance(self.batch_size, int) or isinstance(self.batch_size, bool):
@@ -54,6 +62,11 @@ class EngineConfig:
             )
         if self.batch_size < 1:
             raise ConfigurationError(f"batch_size must be positive, got {self.batch_size}")
+        if self.backend not in _BACKEND_CHOICES:
+            raise ConfigurationError(
+                f"backend must be one of {', '.join(_BACKEND_CHOICES)}, "
+                f"got {self.backend!r}"
+            )
         object.__setattr__(self, "options", dict(self.options))
         reserved = sorted(set(self.options) & set(_RESERVED_OPTIONS))
         if reserved:
@@ -64,7 +77,23 @@ class EngineConfig:
             )
         # Raises on unknown counter names and on options the counter's spec
         # does not list (the reserved common options were handled above).
-        counter_spec(self.counter).validate_options(self.options)
+        spec = counter_spec(self.counter)
+        spec.validate_options(self.options)
+        if self.backend != "auto" and not self._spec_accepts_backend(spec):
+            raise ConfigurationError(
+                f"counter {self.counter!r} does not accept a matmul backend; "
+                f"only backend='auto' is valid for it"
+            )
+
+    @staticmethod
+    def _spec_accepts_backend(spec) -> bool:
+        """Whether the counter takes the shared ``backend`` keyword.
+
+        Registered built-ins declare it in their option list; legacy specs
+        registered from a bare factory (``options is None``) are assumed to
+        follow the base-class signature and accept it.
+        """
+        return spec.options is None or "backend" in spec.option_names()
 
     @property
     def spec(self):
@@ -72,8 +101,23 @@ class EngineConfig:
         return counter_spec(self.counter)
 
     def counter_kwargs(self) -> Dict[str, object]:
-        """The full keyword set to instantiate the counter with."""
-        return dict(self.options, record_metrics=self.record_metrics, interned=self.interned)
+        """The full keyword set to instantiate the counter with.
+
+        ``backend`` is forwarded only to counters that declare the option —
+        and, for legacy bare-factory specs (``options is None``, signature
+        unknown), only when it was explicitly set to a non-default value — so
+        a third-party counter that predates the option keeps working under
+        the default config.
+        """
+        kwargs = dict(
+            self.options, record_metrics=self.record_metrics, interned=self.interned
+        )
+        spec = self.spec
+        if "backend" in spec.option_names() or (
+            spec.options is None and self.backend != "auto"
+        ):
+            kwargs["backend"] = self.backend
+        return kwargs
 
     def with_updates(self, **changes) -> "EngineConfig":
         """A copy of this config with the given fields replaced."""
@@ -91,6 +135,7 @@ class EngineConfig:
             "interned": self.interned,
             "record_metrics": self.record_metrics,
             "track_costs": self.track_costs,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -102,7 +147,8 @@ class EngineConfig:
                 f"engine config must be a mapping, got {type(payload).__name__}"
             )
         known = {
-            "counter", "options", "batch_size", "interned", "record_metrics", "track_costs",
+            "counter", "options", "batch_size", "interned", "record_metrics",
+            "track_costs", "backend",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -123,6 +169,7 @@ class EngineConfig:
             interned=payload.get("interned", True),
             record_metrics=payload.get("record_metrics", False),
             track_costs=payload.get("track_costs", True),
+            backend=payload.get("backend", "auto"),
         )
 
     @classmethod
@@ -137,10 +184,12 @@ class EngineConfig:
         options = dict(kwargs)
         interned = bool(options.pop("interned", True))
         record_metrics = bool(options.pop("record_metrics", False))
+        backend = str(options.pop("backend", "auto"))
         return cls(
             counter=name,
             options=options,
             batch_size=batch_size,
             interned=interned,
             record_metrics=record_metrics,
+            backend=backend,
         )

@@ -15,11 +15,15 @@ Installed as ``repro-4cycles``.  Subcommands:
 * ``batch-throughput`` — measure updates/sec of the batch pipeline as a
   function of batch size for the selected counters (experiment E10).
 * ``bench`` — run the performance experiments (E10 batch throughput, E11
-  interned-kernel throughput) in one invocation, print their tables, and
-  write the machine-readable ``BENCH_E10.json``/``BENCH_E11.json`` artifacts.
+  interned-kernel throughput, E12 sparse-vs-dense product backends) in one
+  invocation, print their tables, and write the machine-readable
+  ``BENCH_E10.json``/``BENCH_E11.json``/``BENCH_E12.json`` artifacts.
   ``--quick`` shrinks the workloads for CI smoke runs; exactness (identical
-  counts between scalar and vectorized paths) is always enforced — a mismatch
-  exits non-zero — while timing is reported, never gated.
+  counts between scalar and vectorized paths, identical products across
+  backends) is always enforced — a mismatch exits non-zero — while timing is
+  reported, never gated.  ``--backend {auto,dense,csr,sparse}`` restricts the
+  E12 product sweep to one backend (plus the dict baseline) and pins the
+  counters' batch-kernel backend for E10/E11.
 
 Every subcommand that runs counters goes through the :mod:`repro.api` facade:
 workloads are :class:`~repro.api.GeneratorSource` instances and counters are
@@ -183,6 +187,17 @@ _BENCH_PROFILES = {
     "full": {
         "e10": {"num_vertices": 24, "num_updates": 1280, "batch_sizes": (1, 8, 64, 256)},
         "e11": {"num_vertices": 32, "num_updates": 2560, "batch_size": 256},
+        "e12": {
+            "community_count": 128,
+            "community_size": 48,
+            "uniform_dimension": 512,
+            "dense_dimension": 192,
+            "wedge_vertices": 2048,
+            "wedge_base_edges": 12288,
+            "wedge_churn_updates": 2560,
+            "wedge_batch_size": 128,
+            "product_repeats": 3,
+        },
     },
     "quick": {
         "e10": {"num_vertices": 16, "num_updates": 384, "batch_sizes": (1, 64)},
@@ -193,6 +208,16 @@ _BENCH_PROFILES = {
             "chain_dimension": 64,
             "chain_repeats": 2,
         },
+        "e12": {
+            "community_count": 24,
+            "community_size": 16,
+            "uniform_dimension": 128,
+            "dense_dimension": 64,
+            "wedge_vertices": 384,
+            "wedge_base_edges": 2048,
+            "wedge_churn_updates": 512,
+            "wedge_batch_size": 64,
+        },
     },
 }
 
@@ -201,6 +226,7 @@ def _command_bench(args: argparse.Namespace) -> int:
     from repro.analysis import (
         experiment_e10_batch_throughput,
         experiment_e11_kernel_throughput,
+        experiment_e12_spgemm_backends,
         text_table,
         write_bench_artifact,
     )
@@ -210,14 +236,25 @@ def _command_bench(args: argparse.Namespace) -> int:
     runners = {
         "e10": ("E10", "batch-pipeline throughput", experiment_e10_batch_throughput),
         "e11": ("E11", "interned kernel throughput", experiment_e11_kernel_throughput),
+        "e12": ("E12", "sparse-vs-dense product backends", experiment_e12_spgemm_backends),
     }
     for name in chosen:
         if name not in runners:
-            print(f"unknown experiment {name!r}; expected a subset of: e10,e11")
+            print(f"unknown experiment {name!r}; expected a subset of: e10,e11,e12")
             return 2
     for name in chosen:
         artifact_name, title, runner = runners[name]
         params = dict(profile[name])
+        if name == "e12":
+            # --backend restricts the product sweep; the dict baseline always
+            # runs for verification.
+            params["backends"] = (
+                ("sparse", "csr", "dense") if args.backend == "auto" else (args.backend,)
+            )
+        elif args.backend in ("dense", "csr"):
+            # Pin the counters' batch-kernel backend; "sparse" has no counter
+            # meaning (the dict backend only exists at the matmul layer).
+            params["backend"] = args.backend
         # Exactness between scalar and vectorized paths is asserted inside the
         # experiments; a mismatch raises and exits non-zero.
         rows = runner(**params)
@@ -286,12 +323,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench",
-        help="run the perf experiments (E10/E11) and write BENCH_E*.json artifacts",
+        help="run the perf experiments (E10/E11/E12) and write BENCH_E*.json artifacts",
     )
     bench.add_argument(
         "--experiments",
-        default="e10,e11",
-        help="comma-separated subset of e10,e11 to run (default: both)",
+        default="e10,e11,e12",
+        help="comma-separated subset of e10,e11,e12 to run (default: all)",
+    )
+    bench.add_argument(
+        "--backend",
+        choices=("auto", "dense", "csr", "sparse"),
+        default="auto",
+        help=(
+            "matmul backend passthrough: restricts the E12 product sweep to one "
+            "backend (dict baseline always runs) and, for dense/csr, pins the "
+            "counters' batch-kernel backend in E10/E11 (default: auto)"
+        ),
     )
     bench.add_argument(
         "--output-dir",

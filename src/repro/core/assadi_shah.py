@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.core.oracles import OracleBackedCounter, PhaseThreePathOracle
 from repro.instrumentation.cost_model import CostModel
-from repro.matmul.engine import CountMatrix, exact_integer_matmul
+from repro.matmul.engine import CountMatrix, CsrMatrix, csr_spgemm, exact_integer_matmul
 from repro.theory.parameters import solve_main_parameters
 
 if TYPE_CHECKING:  # typing only; avoids a runtime import cycle
@@ -190,15 +190,7 @@ class AssadiShahThreePathOracle(PhaseThreePathOracle):
         by tuple — instead of replaying per-update neighborhood scans.
         """
         super().rebuild_from_mirrored_graph(graph, matrix, labels, square)
-        m = max(self.num_edges, 1)
-        self._class_reference_m = m
-        threshold = self._dense_threshold()
-        combined_degrees = 2 * matrix.sum(axis=1)
-        dense_mask = combined_degrees >= 2.0 * threshold
-        dense_vertices = {labels[i] for i in np.nonzero(dense_mask)[0]}
-        self._dense_l2 = dense_vertices
-        self._dense_l3 = set(dense_vertices)
-        sparse_mask = ~dense_mask
+        sparse_mask = self._recompute_mirrored_classes(2 * matrix.sum(axis=1), labels)
         # A . diag(sparse) . B with A = B = adjacency; the L2 and L3 sparse
         # sets coincide in the mirrored reduction, so one product serves both
         # structures (as independent copies — they are mutated separately).
@@ -207,6 +199,42 @@ class AssadiShahThreePathOracle(PhaseThreePathOracle):
         self._wedges_b_sparse_c = self._wedges_a_sparse_b.copy()
         n = matrix.shape[0]
         self.cost.charge("batch_rebuild", n * n * n)
+
+    def rebuild_from_mirrored_csr(
+        self,
+        graph: "DynamicGraph",
+        adjacency: CsrMatrix,
+        labels: List[Vertex],
+        square: CsrMatrix,
+    ) -> None:
+        """Sparse bulk rebuild: phase sync plus SpGEMM class structures.
+
+        Identical quantities to :meth:`rebuild_from_mirrored_graph` — the
+        Eq. (12) masked product becomes a column-filtered SpGEMM
+        ``(A . diag(sparse)) . A`` — with no dense ``n x n`` materialized.
+        """
+        super().rebuild_from_mirrored_csr(graph, adjacency, labels, square)
+        sparse_mask = self._recompute_mirrored_classes(2 * adjacency.row_lengths(), labels)
+        wedges, work = csr_spgemm(adjacency.filter_columns(sparse_mask), adjacency)
+        self._wedges_a_sparse_b = CountMatrix.from_csr(wedges, labels)
+        self._wedges_b_sparse_c = self._wedges_a_sparse_b.copy()
+        self.cost.charge("batch_rebuild", work)
+
+    def _recompute_mirrored_classes(
+        self, combined_degrees: np.ndarray, labels: List[Vertex]
+    ) -> np.ndarray:
+        """Reset the dense L2/L3 sets from the mirrored combined degrees.
+
+        Returns the sparse-vertex indicator the Eq. (12) products mask with.
+        """
+        m = max(self.num_edges, 1)
+        self._class_reference_m = m
+        threshold = self._dense_threshold()
+        dense_mask = combined_degrees >= 2.0 * threshold
+        dense_vertices = {labels[i] for i in np.nonzero(dense_mask)[0]}
+        self._dense_l2 = dense_vertices
+        self._dense_l3 = set(dense_vertices)
+        return ~dense_mask
 
     def _maintain_sparse_wedges(self, position: int, left: Vertex, right: Vertex, sign: int) -> None:
         """On-the-fly maintenance of the Eq. (12) structures (Claim 5.3)."""
@@ -357,6 +385,7 @@ class AssadiShahCounter(OracleBackedCounter):
         min_phase_length: int = 16,
         record_metrics: bool = False,
         interned: bool = True,
+        backend: str = "auto",
     ) -> None:
         oracle = AssadiShahThreePathOracle(
             phase_length=phase_length,
@@ -364,7 +393,9 @@ class AssadiShahCounter(OracleBackedCounter):
             delta=delta,
             min_phase_length=min_phase_length,
         )
-        super().__init__(oracle=oracle, record_metrics=record_metrics, interned=interned)
+        super().__init__(
+            oracle=oracle, record_metrics=record_metrics, interned=interned, backend=backend
+        )
 
     @property
     def main_oracle(self) -> AssadiShahThreePathOracle:

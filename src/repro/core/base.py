@@ -57,6 +57,8 @@ import abc
 import time
 from typing import Hashable, Iterable, List, Optional, Union
 
+import numpy as np
+
 from repro.exceptions import (
     CounterStateError,
     DuplicateEdgeError,
@@ -74,6 +76,7 @@ from repro.graph.updates import (
 )
 from repro.instrumentation.cost_model import CostModel
 from repro.instrumentation.metrics import UpdateMetrics, UpdateRecord
+from repro.matmul.scheduler import ProductDispatcher
 
 Vertex = Hashable
 
@@ -86,10 +89,12 @@ class DynamicFourCycleCounter(abc.ABC):
 
     #: Minimum net batch size before a counter's `_batch_hook` fast path is
     #: worth taking; below it the per-update replay is typically cheaper (the
-    #: rebuild-style fast paths pay an O(n^2)-ish fixed cost per batch).
+    #: rebuild-style fast paths pay a fixed per-batch kernel cost).
     batch_fast_path_threshold: int = 32
 
-    def __init__(self, record_metrics: bool = False, interned: bool = True) -> None:
+    def __init__(
+        self, record_metrics: bool = False, interned: bool = True, backend: str = "auto"
+    ) -> None:
         #: ``interned=True`` (default) keeps the graph's integer-interned
         #: representation live, which the batched ``_batch_hook`` fast paths
         #: build their vectorized kernels on; ``interned=False`` forces every
@@ -100,6 +105,27 @@ class DynamicFourCycleCounter(abc.ABC):
         self._updates_processed = 0
         self.cost = CostModel()
         self.metrics: Optional[UpdateMetrics] = UpdateMetrics() if record_metrics else None
+        #: Density-aware dense-BLAS vs CSR-SpGEMM choice for the batch hooks'
+        #: whole-graph products.  ``backend`` pins the kernel ("dense"/"csr");
+        #: the default "auto" compares cost estimates per product.  Validated
+        #: here so a bad value fails at construction, not mid-batch.
+        self.product_dispatcher = ProductDispatcher(backend=backend)
+
+    @property
+    def matmul_backend(self) -> str:
+        """The configured product backend ("auto", "dense" or "csr")."""
+        return self.product_dispatcher.backend
+
+    def _adjacency_product_decision(self):
+        """Dispatch the square adjacency self-product ``A @ A``.
+
+        The expansion size of ``A @ A`` is ``sum over vertices of deg^2``,
+        computed from the (warm) CSR view without running the product.
+        """
+        indptr, indices = self._graph.csr_view()
+        degrees = np.diff(indptr)
+        work = int(degrees[indices].sum()) if len(indices) else 0
+        return self.product_dispatcher.decide_square(len(indptr) - 1, work)
 
     # -- public API ----------------------------------------------------------
     @property

@@ -36,7 +36,12 @@ import numpy as np
 
 from repro.core.base import DynamicFourCycleCounter
 from repro.graph.updates import UpdateBatch
-from repro.matmul.engine import CountMatrix, exact_integer_matmul
+from repro.matmul.engine import (
+    CountMatrix,
+    csr_linear_combination,
+    csr_spgemm,
+    exact_integer_matmul,
+)
 
 Vertex = Hashable
 
@@ -46,8 +51,10 @@ class HHH22Counter(DynamicFourCycleCounter):
 
     name = "hhh22"
 
-    def __init__(self, record_metrics: bool = False, interned: bool = True) -> None:
-        super().__init__(record_metrics=record_metrics, interned=interned)
+    def __init__(
+        self, record_metrics: bool = False, interned: bool = True, backend: str = "auto"
+    ) -> None:
+        super().__init__(record_metrics=record_metrics, interned=interned, backend=backend)
         self._high: Set[Vertex] = set()
         self._wedges_low = CountMatrix()    # W_low[a][b], low center
         self._wedges_high = CountMatrix()   # W_hh[a][b], high center, a and b high
@@ -92,7 +99,7 @@ class HHH22Counter(DynamicFourCycleCounter):
         return True
 
     def _vectorized_rebuild(self) -> None:
-        """Recompute classes, structures, and the count with dense kernels.
+        """Recompute classes, structures, and the count with matrix kernels.
 
         The structures are the same quantities ``_full_rebuild`` assembles
         edge by edge, expressed as matrix products over the interned adjacency
@@ -105,13 +112,25 @@ class HHH22Counter(DynamicFourCycleCounter):
         * ``P_LL``: 3-walk count ``A . (diag(L) A diag(L)) . A`` minus the
           degenerate walks that reuse an endpoint (inclusion–exclusion over
           ``a = y`` and ``b = x``), diagonal zeroed.
+
+        The products run on dense BLAS or on the CSR SpGEMM kernel, whichever
+        the density-aware dispatcher picks; both assemble identical matrices.
         """
+        self._refresh_thresholds()
+        if self._adjacency_product_decision().backend == "dense":
+            self._rebuild_structures_dense()
+        else:
+            self._rebuild_structures_csr()
+
+    def _refresh_thresholds(self) -> None:
+        m = max(self._graph.num_edges, 1)
+        self._reference_m = m
+        self._theta = max(1.0, float(m) ** (1.0 / 3.0))
+
+    def _rebuild_structures_dense(self) -> None:
         graph = self._graph
         matrix, labels = graph.interned_adjacency_matrix()
         n = matrix.shape[0]
-        m = max(graph.num_edges, 1)
-        self._reference_m = m
-        self._theta = max(1.0, float(m) ** (1.0 / 3.0))
         degrees = matrix.sum(axis=1)
         high_mask = degrees >= 2.0 * self._theta
         low_mask = ~high_mask
@@ -140,6 +159,52 @@ class HHH22Counter(DynamicFourCycleCounter):
         # Four dense n x n products, charged so the ops columns stay
         # comparable with the per-update structure_update path.
         self.cost.charge("batch_rebuild", 4 * n * n * n)
+
+    def _rebuild_structures_csr(self) -> None:
+        """The same rebuild, entirely sparse: no dense n x n is materialized.
+
+        Masks become entry filters (``A . diag(L)`` drops masked columns,
+        ``diag(L) . A`` masked rows), the additive inclusion–exclusion runs as
+        an exact COO linear combination, and every product goes through the
+        Gustavson kernel.
+        """
+        graph = self._graph
+        adjacency = graph.csr_matrix()
+        labels = graph.interner.labels
+        n = adjacency.num_rows
+        degrees = adjacency.row_lengths()
+        high_mask = degrees >= 2.0 * self._theta
+        low_mask = ~high_mask
+        self._high = {labels[i] for i in np.nonzero(high_mask)[0]}
+        work = 0
+        wedge, spent = csr_spgemm(adjacency, adjacency)
+        work += spent
+        wedge = wedge.without_diagonal()
+        pairs = wedge.data * (wedge.data - 1) // 2
+        self._count = int(pairs.sum()) // 4
+        masked_columns = adjacency.filter_columns(low_mask)  # A . diag(L)
+        low_centers, spent = csr_spgemm(masked_columns, adjacency)
+        work += spent
+        low_centers = low_centers.without_diagonal()
+        self._wedges_low = CountMatrix.from_csr(low_centers, labels)
+        high_centers = (
+            csr_linear_combination([(1, wedge), (-1, low_centers)], n, n)
+            .filter_rows(high_mask)
+            .filter_columns(high_mask)
+        )
+        self._wedges_high = CountMatrix.from_csr(high_centers, labels)
+        middle = masked_columns.filter_rows(low_mask)  # diag(L) . A . diag(L)
+        inner, spent = csr_spgemm(adjacency, middle)
+        work += spent
+        walks, spent = csr_spgemm(inner, adjacency)
+        work += spent
+        low_degrees = masked_columns.row_sums()
+        end_reuse = adjacency.scale_rows(np.where(low_mask, low_degrees, 0))
+        paths = csr_linear_combination(
+            [(1, walks), (-1, end_reuse), (-1, end_reuse.transpose()), (1, middle)], n, n
+        ).without_diagonal()
+        self._paths_ll = CountMatrix.from_csr(paths, labels)
+        self.cost.charge("batch_rebuild", work)
 
     # -- query ------------------------------------------------------------------
     def _three_paths(self, u: Vertex, v: Vertex) -> int:

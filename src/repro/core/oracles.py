@@ -32,9 +32,15 @@ import numpy as np
 
 from repro.core.base import DynamicFourCycleCounter
 from repro.exceptions import ConfigurationError, InvalidUpdateError
-from repro.graph.static_counts import four_cycles_from_adjacency
+from repro.graph.static_counts import four_cycles_from_adjacency, four_cycles_from_csr_square
 from repro.instrumentation.cost_model import CostModel
-from repro.matmul.engine import CountMatrix, exact_integer_matmul
+from repro.matmul.engine import (
+    CountMatrix,
+    CsrMatrix,
+    csr_spgemm,
+    exact_integer_matmul,
+    spgemm_work,
+)
 from repro.matmul.scheduler import ChainProductJob, PhaseScheduler
 from repro.theory.parameters import solve_main_parameters
 
@@ -165,6 +171,27 @@ class ThreePathOracle(abc.ABC):
         the mirrored setting where ``A = B = C =`` the adjacency matrix.
         """
         del matrix, labels, square  # vectorized kernels live in subclasses
+        self._rebuild_mirrored_relations(graph)
+
+    def rebuild_from_mirrored_csr(
+        self,
+        graph: "DynamicGraph",
+        adjacency: CsrMatrix,
+        labels: List[Vertex],
+        square: CsrMatrix,
+    ) -> None:
+        """Sparse twin of :meth:`rebuild_from_mirrored_graph`.
+
+        ``adjacency`` is the graph's interned CSR adjacency and ``square`` its
+        SpGEMM self-product; subclasses rebuild their auxiliary structures
+        from them without ever materializing a dense ``n x n`` array — the
+        path the density-aware dispatcher takes on sparse graphs.
+        """
+        del adjacency, labels, square  # sparse kernels live in subclasses
+        self._rebuild_mirrored_relations(graph)
+
+    def _rebuild_mirrored_relations(self, graph: "DynamicGraph") -> None:
+        """Reset all three chain relations to mirror the graph's adjacency."""
         for position in CHAIN_POSITIONS:
             relation = _ChainRelation()
             # Forward and backward maps (and each relation) need independent
@@ -418,11 +445,48 @@ class PhaseThreePathOracle(ThreePathOracle):
         if square is None:
             square = exact_integer_matmul(matrix, matrix)
         cube = exact_integer_matmul(square, matrix)
-        adjacency = CountMatrix.from_dense(matrix, labels)
-        product_square = CountMatrix.from_dense(square, labels)
+        n = matrix.shape[0]
+        self._promote_mirrored_products(
+            CountMatrix.from_dense(matrix, labels),
+            CountMatrix.from_dense(square, labels),
+            CountMatrix.from_dense(cube, labels),
+            work=2 * n * n * n,
+        )
+
+    def rebuild_from_mirrored_csr(
+        self,
+        graph: "DynamicGraph",
+        adjacency: CsrMatrix,
+        labels: List[Vertex],
+        square: CsrMatrix,
+    ) -> None:
+        """Sparse bulk rebuild: the same phase synchronization, no dense array.
+
+        The promoted products come from the SpGEMM kernel (``AB = BC = A^2``,
+        ``ABC = A^3`` in the mirrored setting); everything else matches
+        :meth:`rebuild_from_mirrored_graph`.
+        """
+        super().rebuild_from_mirrored_csr(graph, adjacency, labels, square)
+        cube, work = csr_spgemm(square, adjacency)
+        product_square = CountMatrix.from_csr(square, labels)
+        self._promote_mirrored_products(
+            CountMatrix.from_csr(adjacency, labels),
+            product_square,
+            CountMatrix.from_csr(cube, labels),
+            work=work + spgemm_work(adjacency, adjacency),
+        )
+
+    def _promote_mirrored_products(
+        self,
+        adjacency: CountMatrix,
+        product_square: CountMatrix,
+        product_cube: CountMatrix,
+        work: int,
+    ) -> None:
+        """Install freshly computed mirrored products and open a new phase."""
         self._product_ab = product_square
         self._product_bc = product_square
-        self._product_abc = CountMatrix.from_dense(cube, labels)
+        self._product_abc = product_cube
         self._delta_a_by_left = {}
         self._delta_b = {}
         self._delta_c_by_right = {}
@@ -430,8 +494,7 @@ class PhaseThreePathOracle(ThreePathOracle):
         # The pending jobs re-multiply the same snapshot; they only read the
         # shared adjacency matrix, so one materialization serves all three.
         self._start_phase(snapshots=(adjacency, adjacency, adjacency))
-        n = matrix.shape[0]
-        self.cost.charge("batch_rebuild", 2 * n * n * n)
+        self.cost.charge("batch_rebuild", work)
 
     def _compute_phase_length(self) -> int:
         if self._fixed_phase_length is not None:
@@ -496,9 +559,13 @@ class OracleBackedCounter(DynamicFourCycleCounter):
     name = "oracle-backed"
 
     def __init__(
-        self, oracle: ThreePathOracle, record_metrics: bool = False, interned: bool = True
+        self,
+        oracle: ThreePathOracle,
+        record_metrics: bool = False,
+        interned: bool = True,
+        backend: str = "auto",
     ) -> None:
-        super().__init__(record_metrics=record_metrics, interned=interned)
+        super().__init__(record_metrics=record_metrics, interned=interned, backend=backend)
         self._oracle = oracle
         # Share one cost model so oracle work shows up in the counter's totals.
         self._oracle.cost = self.cost
@@ -513,25 +580,40 @@ class OracleBackedCounter(DynamicFourCycleCounter):
         The per-update path mirrors every edge into six relation updates, each
         firing the oracle's Python maintenance hooks.  For a large window it
         is cheaper to apply the net updates to the graph in bulk, rebuild the
-        oracle from the mirrored graph with dense kernels
-        (:meth:`ThreePathOracle.rebuild_from_mirrored_graph`), and take the
-        exact boundary count from the closed-walk trace formula over the same
-        interned adjacency matrix.
+        oracle from the mirrored graph with matrix kernels
+        (:meth:`ThreePathOracle.rebuild_from_mirrored_graph` on the dense
+        path, :meth:`ThreePathOracle.rebuild_from_mirrored_csr` on the sparse
+        one — the density-aware dispatcher picks), and take the exact boundary
+        count from the closed-walk trace formula over the same adjacency.
         """
         if len(batch) < self.batch_fast_path_threshold or not self._graph.is_interned:
             return False
         self._graph.apply_batch(batch)
-        matrix, labels = self._graph.interned_adjacency_matrix()
-        square = exact_integer_matmul(matrix, matrix)
-        self._oracle.rebuild_from_mirrored_graph(self._graph, matrix, labels, square=square)
         if self._graph.num_edges == 0:
+            # Degenerate empty graph: both kernels reduce to clearing state.
+            matrix, labels = self._graph.interned_adjacency_matrix()
+            self._oracle.rebuild_from_mirrored_graph(self._graph, matrix, labels)
             self._count = 0
-        else:
+            return True
+        decision = self._adjacency_product_decision()
+        if decision.backend == "dense":
+            matrix, labels = self._graph.interned_adjacency_matrix()
+            square = exact_integer_matmul(matrix, matrix)
+            self._oracle.rebuild_from_mirrored_graph(self._graph, matrix, labels, square=square)
             self._count = four_cycles_from_adjacency(
                 matrix, self._graph.num_edges, square=square
             )
-        n = matrix.shape[0]
-        self.cost.charge("batch_recount", n * n * n)
+            n = matrix.shape[0]
+            self.cost.charge("batch_recount", n * n * n)
+        else:
+            adjacency = self._graph.csr_matrix()
+            square, work = csr_spgemm(adjacency, adjacency)
+            labels = self._graph.interner.labels
+            self._oracle.rebuild_from_mirrored_csr(self._graph, adjacency, labels, square)
+            self._count = four_cycles_from_csr_square(
+                square, adjacency.row_lengths(), self._graph.num_edges
+            )
+            self.cost.charge("batch_recount", work)
         return True
 
     def _three_paths(self, u: Vertex, v: Vertex) -> int:

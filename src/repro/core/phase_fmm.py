@@ -31,13 +31,16 @@ class PhaseFMMCounter(OracleBackedCounter):
         min_phase_length: int = 16,
         record_metrics: bool = False,
         interned: bool = True,
+        backend: str = "auto",
     ) -> None:
         oracle = PhaseThreePathOracle(
             phase_length=phase_length,
             delta=delta,
             min_phase_length=min_phase_length,
         )
-        super().__init__(oracle=oracle, record_metrics=record_metrics, interned=interned)
+        super().__init__(
+            oracle=oracle, record_metrics=record_metrics, interned=interned, backend=backend
+        )
 
     @property
     def phase_oracle(self) -> PhaseThreePathOracle:

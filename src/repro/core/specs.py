@@ -57,6 +57,7 @@ class OptionSpec:
 COMMON_OPTIONS: Tuple[OptionSpec, ...] = (
     OptionSpec("record_metrics", False, "record one UpdateRecord per update/batch"),
     OptionSpec("interned", True, "keep the integer-interned graph mirror live"),
+    OptionSpec("backend", "auto", "batch-kernel matmul backend: auto|dense|csr"),
 )
 
 
@@ -174,7 +175,15 @@ register_spec(
         asymptotic="O(n)",
         supports_batch_hook=True,
         needs_oracle=False,
-        options=COMMON_OPTIONS,
+        options=COMMON_OPTIONS
+        + (
+            OptionSpec(
+                "incremental",
+                None,
+                "batch hook mode: None=auto cost choice, True=force delta merge, "
+                "False=always full rebuild",
+            ),
+        ),
     )
 )
 register_spec(

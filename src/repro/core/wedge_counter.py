@@ -6,17 +6,36 @@ edge update touches ``deg(u) + deg(v) = O(n)`` wedge counts, and a query sums
 Lemma A.1.  The distinctness argument of Claim A.3 — every 3-walk counted is a
 genuine 3-path because the updated edge is absent at query time — is inherited
 from the base-class ordering.
+
+Batched windows take one of three fast paths, chosen by cost estimates:
+
+* **incremental** — the wedge delta ``ΔW = ΔA·A_new + A_old·ΔA`` is computed
+  over only the rows the batch touches (``ΔA`` extracted from the normalized
+  batch through the interner) and merged into the maintained matrix in place;
+* **CSR rebuild** — one sparse ``A @ A`` through the Gustavson SpGEMM kernel;
+* **dense rebuild** — one BLAS ``A @ A`` over the interned adjacency matrix.
+
+All three end bit-identical to the per-update path; the dispatch is pure
+performance.
 """
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Optional
 
 import numpy as np
 
 from repro.core.base import DynamicFourCycleCounter
 from repro.graph.updates import UpdateBatch
-from repro.matmul.engine import CountMatrix, exact_integer_matmul
+from repro.matmul.engine import (
+    CountMatrix,
+    CsrMatrix,
+    csr_linear_combination,
+    csr_spgemm,
+    exact_integer_matmul,
+    spgemm_work,
+)
+from repro.matmul.omega import CSR_OP_COST, DICT_OP_COST, VECTORIZED_PRODUCT_OVERHEAD
 
 Vertex = Hashable
 
@@ -26,11 +45,21 @@ class WedgeCounter(DynamicFourCycleCounter):
 
     name = "wedge"
 
-    def __init__(self, record_metrics: bool = False, interned: bool = True) -> None:
-        super().__init__(record_metrics=record_metrics, interned=interned)
+    def __init__(
+        self,
+        record_metrics: bool = False,
+        interned: bool = True,
+        backend: str = "auto",
+        incremental: Optional[bool] = None,
+    ) -> None:
+        super().__init__(record_metrics=record_metrics, interned=interned, backend=backend)
         #: ``wedges[a][b]`` = number of common neighbors of ``a`` and ``b``;
         #: stored symmetrically (both orientations) for O(1) lookups.
         self._wedges = CountMatrix()
+        #: ``None`` picks incremental versus full rebuild by cost estimate per
+        #: batch; ``True``/``False`` force the choice (benchmarks and the
+        #: incremental-vs-full equivalence tests pin both modes).
+        self.incremental = incremental
 
     @property
     def wedge_matrix(self) -> CountMatrix:
@@ -42,25 +71,137 @@ class WedgeCounter(DynamicFourCycleCounter):
         return self._wedges.get(a, b)
 
     def _batch_hook(self, batch: UpdateBatch) -> bool:
-        """Batch fast path: one vectorized wedge rebuild per batch.
+        """Batch fast path: one incremental merge or one rebuild per batch.
 
-        Instead of ``O(deg(u) + deg(v))`` dictionary updates per update, the
-        whole window is applied to the graph in bulk and the wedge matrix is
-        rebuilt once as ``A @ A`` (off-diagonal), which simultaneously yields
-        the exact 4-cycle count at the batch boundary: an unordered pair with
-        ``w`` common neighbors spans ``C(w, 2)`` 4-cycles per diagonal, and
-        every 4-cycle has two diagonals, so the ordered-pair sum of ``C(w, 2)``
-        counts each cycle four times.
+        The rebuild computes ``A @ A`` (off-diagonal) on whichever kernel the
+        dispatcher picks, which simultaneously yields the exact 4-cycle count
+        at the batch boundary: an unordered pair with ``w`` common neighbors
+        spans ``C(w, 2)`` 4-cycles per diagonal, and every 4-cycle has two
+        diagonals, so the ordered-pair sum of ``C(w, 2)`` counts each cycle
+        four times.  When the batch is small relative to the graph the hook
+        instead merges the exact wedge delta (see
+        :meth:`_apply_incremental_delta`) and updates the count from the
+        modified entries alone.
         """
         if len(batch) < self.batch_fast_path_threshold:
             return False
-        self._graph.apply_batch(batch)
-        if self._graph.is_interned:
-            # Interned export: one vectorized scatter in id order, no vertex
-            # sort and no per-edge label lookups.
-            matrix, order = self._graph.interned_adjacency_matrix()
-        else:
+        if not self._graph.is_interned:
+            # Scalar-graph fallback: the original dense rebuild over the
+            # deterministic vertex order.
+            self._graph.apply_batch(batch)
             matrix, order = self._graph.adjacency_matrix()
+            self._rebuild_dense(matrix, order)
+            return True
+        self._graph.apply_batch(batch)
+        decision = self._adjacency_product_decision()
+        if self._choose_incremental(batch, decision):
+            self._apply_incremental_delta(batch)
+        elif decision.backend == "dense":
+            matrix, order = self._graph.interned_adjacency_matrix()
+            self._rebuild_dense(matrix, order)
+        else:
+            self._rebuild_csr()
+        return True
+
+    def _choose_incremental(self, batch: UpdateBatch, decision) -> bool:
+        """Whether to merge ``ΔW`` instead of rebuilding ``A @ A``.
+
+        The incremental cost has two parts: the ``ΔA``-row expansions
+        (``sum over ΔA entries of deg`` plus the tiny ``ΔA·ΔA``) at the CSR
+        per-operation constant, and the per-entry dict merge of ``ΔW`` into
+        the maintained matrix at interpreter constants (``ΔW``'s size is
+        bounded by the expansion).  The full-rebuild side also rebuilds the
+        wedge ``CountMatrix`` from scratch, charged per stored entry.  The
+        incremental path wins exactly when the batch touches a small fraction
+        of the graph's wedge mass.
+        """
+        if self.incremental is not None:
+            return self.incremental
+        indptr, indices = self._graph.csr_view()
+        degrees = np.diff(indptr)
+        touched = [
+            vid
+            for vertex in batch.touched_vertices
+            if (vid := self._graph.interner.get_id(vertex)) is not None
+        ]
+        delta_nnz = 2 * len(batch)
+        expansion = int(degrees[touched].sum()) * 2 + delta_nnz
+        incremental_cost = (
+            expansion * (CSR_OP_COST + DICT_OP_COST) + VECTORIZED_PRODUCT_OVERHEAD
+        )
+        # A rebuild repopulates the whole wedge matrix; its row dicts hold at
+        # most one entry per expansion unit of A @ A (usually far fewer).
+        rebuild_cost = decision.cost + self._wedges.nnz * CSR_OP_COST
+        return incremental_cost < rebuild_cost
+
+    def _apply_incremental_delta(self, batch: UpdateBatch) -> None:
+        """Merge ``ΔW = ΔA·A_new + A_old·ΔA`` into the maintained matrix.
+
+        Called with the graph already in its post-batch state.  Both ``ΔA``
+        and the adjacency are symmetric, so ``A_old·ΔA = (ΔA·A_old)^T`` and
+        ``ΔA·A_old = ΔA·A_new - ΔA·ΔA`` — two small SpGEMMs whose left
+        operand has non-empty rows only for the batch's touched vertices.
+        The count moves by ``sum of C(w + d, 2) - C(w, 2)`` over the modified
+        off-diagonal entries, divided by the 4 ordered diagonal orientations.
+        """
+        graph = self._graph
+        delta = graph.interned_update_delta(batch)
+        adjacency = graph.csr_matrix()
+        n = adjacency.num_rows
+        touched_rows, work_new = csr_spgemm(delta, adjacency)      # ΔA · A_new
+        delta_square, work_delta = csr_spgemm(delta, delta)        # ΔA · ΔA
+        mirrored = csr_linear_combination(                         # ΔA · A_old
+            [(1, touched_rows), (-1, delta_square)], n, n
+        )
+        wedge_delta = CsrMatrix.from_coo(
+            np.concatenate((touched_rows.row_ids(), mirrored.cols)),
+            np.concatenate((touched_rows.cols, mirrored.row_ids())),
+            np.concatenate((touched_rows.data, mirrored.data)),
+            n,
+            n,
+        ).without_diagonal()
+        label_array = np.empty(n, dtype=object)
+        label_array[:] = graph.interner.labels
+        entry_labels = label_array[wedge_delta.cols].tolist()
+        entry_deltas = wedge_delta.data.tolist()
+        indptr = wedge_delta.indptr
+        wedges = self._wedges
+        pair_delta = 0
+        for position in np.nonzero(np.diff(indptr))[0].tolist():
+            begin, end = int(indptr[position]), int(indptr[position + 1])
+            columns = entry_labels[begin:end]
+            deltas = entry_deltas[begin:end]
+            get_old = wedges.row(label_array[position]).get
+            # C(w + d, 2) - C(w, 2) = d (2 w + d - 1) / 2, entrywise.
+            pair_delta += sum(
+                delta * (2 * get_old(column, 0) + delta - 1)
+                for column, delta in zip(columns, deltas)
+            )
+            wedges.add_row(label_array[position], columns, deltas)
+        if pair_delta % 8 != 0:
+            # Explicit raise (not a bare assert) so the exactness gate
+            # survives `python -O`, matching four_cycles_from_csr_square.
+            raise AssertionError(
+                f"incremental wedge delta is not a multiple of 8 ({pair_delta}); "
+                "a diagonal orientation was lost"
+            )
+        self._count += pair_delta // 8
+        self.cost.charge(
+            "batch_incremental", work_new + work_delta + wedge_delta.nnz
+        )
+
+    def _rebuild_csr(self) -> None:
+        """Full rebuild through the sparse SpGEMM kernel (no dense n x n)."""
+        adjacency = self._graph.csr_matrix()
+        wedge, work = csr_spgemm(adjacency, adjacency)
+        wedge = wedge.without_diagonal()
+        self._wedges = CountMatrix.from_csr(wedge, self._graph.interner.labels)
+        pairs = wedge.data * (wedge.data - 1) // 2
+        self._count = int(pairs.sum()) // 4
+        self.cost.charge("batch_rebuild", work)
+
+    def _rebuild_dense(self, matrix: np.ndarray, order) -> None:
+        """Full rebuild through one dense BLAS product."""
         n = matrix.shape[0]
         wedge = exact_integer_matmul(matrix, matrix)
         np.fill_diagonal(wedge, 0)
@@ -70,7 +211,6 @@ class WedgeCounter(DynamicFourCycleCounter):
         self._wedges = CountMatrix.from_dense(wedge, order)
         pairs = wedge * (wedge - 1) // 2
         self._count = int(pairs.sum()) // 4
-        return True
 
     def _three_paths(self, u: Vertex, v: Vertex) -> int:
         # Sum wedges(x, v) over x in N(u).  The wedge matrix is symmetric, so
@@ -95,12 +235,19 @@ class WedgeCounter(DynamicFourCycleCounter):
         # New wedges created (or destroyed) by the edge {u, v} are exactly the
         # wedges centered at u (paired with v) and centered at v (paired with
         # u); the edge itself is absent from the graph here, so the neighbor
-        # sets never contain the opposite endpoint.
-        for w in self._graph.neighbors(u):
-            self.cost.charge("structure_update", 2)
-            self._wedges.add(v, w, sign)
-            self._wedges.add(w, v, sign)
-        for w in self._graph.neighbors(v):
-            self.cost.charge("structure_update", 2)
-            self._wedges.add(u, w, sign)
-            self._wedges.add(w, u, sign)
+        # sets never contain the opposite endpoint.  The row orientation is
+        # applied as one bulk add_row per endpoint; the mirrored orientation
+        # necessarily scatters across rows and stays per-entry.
+        wedges = self._wedges
+        neighbors_u = list(self._graph.neighbors(u))
+        if neighbors_u:
+            self.cost.charge("structure_update", 2 * len(neighbors_u))
+            wedges.add_row(v, neighbors_u, sign)
+            for w in neighbors_u:
+                wedges.add(w, v, sign)
+        neighbors_v = list(self._graph.neighbors(v))
+        if neighbors_v:
+            self.cost.charge("structure_update", 2 * len(neighbors_v))
+            wedges.add_row(u, neighbors_v, sign)
+            for w in neighbors_v:
+                wedges.add(w, u, sign)

@@ -14,14 +14,26 @@ labels.  It supports the operations the counters need: point updates, row and
 column access, addition (used for the "negative edge" trick of Section 3.3),
 and multiplication.
 
-Multiplication can run on two backends:
+Multiplication can run on three backends:
 
 * :class:`SparseBackend` — dictionary-based sparse-sparse product, cheap when
-  the operands are sparse (new-phase / per-chunk matrices).
+  the operands are tiny (a handful of non-zeros, where numpy call overhead
+  dominates).
+* :class:`CsrBackend` — vectorized integer CSR×CSR SpGEMM (Gustavson-style
+  row-block expansion over numpy gathers with sort-reduce merges; exact int64
+  accumulation, no scipy).  This is the workhorse for sparse operands: cost is
+  proportional to the same combinatorial quantity as the dict backend but the
+  per-operation constant is numpy's, not the interpreter's.
 * :class:`DenseBackend` — converts to dense ``numpy`` arrays and uses BLAS.
   This plays the role of *fast matrix multiplication* for the old-phase
   products; the asymptotic exponent is modelled separately in
   :mod:`repro.matmul.omega`.
+
+The positional (integer-indexed) :class:`CsrMatrix` value type and the
+:func:`csr_spgemm` kernel underneath :class:`CsrBackend` are also used
+directly by the counters' batched rebuild hooks, which dispatch between the
+dense and CSR kernels through
+:class:`repro.matmul.scheduler.ProductDispatcher`.
 
 :class:`MatmulEngine` picks a backend (or honours an explicit choice) and
 reports the work it performed to an optional cost callback, which the
@@ -51,6 +63,344 @@ def expand_csr_rows(indptr: np.ndarray, rows: Optional[np.ndarray] = None) -> np
     if rows is None:
         rows = np.arange(len(indptr) - 1, dtype=np.int64)
     return np.repeat(rows, np.diff(indptr))
+
+
+def _indptr_from_rows(rows: np.ndarray, num_rows: int) -> np.ndarray:
+    """CSR ``indptr`` for per-entry row ids that are already in row order."""
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=num_rows), out=indptr[1:])
+    return indptr
+
+
+def _coalesce_keys(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sum ``values`` grouped by ``keys`` and drop groups that sum to zero.
+
+    The sort-reduce merge at the heart of the SpGEMM kernel: one ``np.sort``
+    pass over the keys, one ``np.add.reduceat`` over the reordered values.
+    Accumulation stays in int64 throughout (``np.bincount`` would round-trip
+    the weights through float64 and lose exactness past ``2^53``).  Returns
+    the surviving keys in ascending order with their sums.
+    """
+    # Introsort, not a stable kind: summing is commutative, so the order of
+    # equal keys is irrelevant, and the unstable sort is several times faster.
+    order = np.argsort(keys)
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+    sums = np.add.reduceat(values[order], starts)
+    keep = sums != 0
+    return sorted_keys[starts[keep]], sums[keep]
+
+
+@dataclass(frozen=True)
+class CsrMatrix:
+    """A positional (integer-indexed) sparse matrix in CSR form.
+
+    Unlike :class:`CountMatrix` (label-keyed, dict-of-dicts, built for point
+    updates) this is the *kernel* representation: rows and columns are dense
+    integer positions, entries live in three numpy arrays, and every operation
+    is a vectorized array pass.  Invariants: entries are coalesced (one stored
+    entry per coordinate), column-sorted within each row, and hold no explicit
+    zeros — :meth:`from_coo` establishes them and every method preserves them.
+    """
+
+    indptr: np.ndarray
+    cols: np.ndarray
+    data: np.ndarray
+    num_cols: int
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        return len(self.cols)
+
+    def row_ids(self) -> np.ndarray:
+        """Per-entry row positions (one int per stored entry)."""
+        return expand_csr_rows(self.indptr)
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @classmethod
+    def empty(cls, num_rows: int, num_cols: int) -> "CsrMatrix":
+        return cls(
+            indptr=np.zeros(num_rows + 1, dtype=np.int64),
+            cols=np.empty(0, dtype=np.int64),
+            data=np.empty(0, dtype=np.int64),
+            num_cols=num_cols,
+        )
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        data: np.ndarray,
+        num_rows: int,
+        num_cols: int,
+    ) -> "CsrMatrix":
+        """Build from coordinate triplets, coalescing duplicates exactly.
+
+        Duplicate coordinates *sum*; coordinates whose sum is zero vanish —
+        the array-level analogue of :meth:`CountMatrix.add` semantics.
+        """
+        if not len(rows):
+            return cls.empty(num_rows, num_cols)
+        keys = rows.astype(np.int64) * np.int64(num_cols) + cols
+        keys, sums = _coalesce_keys(keys, data.astype(np.int64, copy=False))
+        out_rows = keys // num_cols
+        out_cols = keys - out_rows * num_cols
+        indptr = _indptr_from_rows(out_rows, num_rows)
+        return cls(indptr=indptr, cols=out_cols, data=sums, num_cols=num_cols)
+
+    @classmethod
+    def from_parts(
+        cls, indptr: np.ndarray, cols: np.ndarray, data: np.ndarray, num_cols: int
+    ) -> "CsrMatrix":
+        """Wrap already-valid CSR arrays (coalesced, column-sorted, no zeros)."""
+        return cls(indptr=indptr, cols=cols, data=data, num_cols=num_cols)
+
+    def to_dense(self, dtype=np.int64) -> np.ndarray:
+        dense = np.zeros((self.num_rows, self.num_cols), dtype=dtype)
+        if self.nnz:
+            dense[self.row_ids(), self.cols] = self.data
+        return dense
+
+    def filter_entries(self, keep: np.ndarray) -> "CsrMatrix":
+        """Keep only the entries where the boolean mask is true."""
+        if keep.all():
+            return self
+        rows = self.row_ids()[keep]
+        indptr = _indptr_from_rows(rows, self.num_rows)
+        return CsrMatrix(
+            indptr=indptr, cols=self.cols[keep], data=self.data[keep], num_cols=self.num_cols
+        )
+
+    def filter_columns(self, mask: np.ndarray) -> "CsrMatrix":
+        """``self · diag(mask)``: drop every entry in a masked-out column."""
+        if not self.nnz:
+            return self
+        return self.filter_entries(mask[self.cols])
+
+    def filter_rows(self, mask: np.ndarray) -> "CsrMatrix":
+        """``diag(mask) · self``: drop every entry in a masked-out row."""
+        if not self.nnz:
+            return self
+        return self.filter_entries(mask[self.row_ids()])
+
+    def scale_rows(self, scale: np.ndarray) -> "CsrMatrix":
+        """``diag(scale) · self`` for an integer vector, dropping zeroed rows."""
+        if not self.nnz:
+            return self
+        rows = self.row_ids()
+        data = self.data * scale.astype(np.int64, copy=False)[rows]
+        keep = data != 0
+        if keep.all():
+            return CsrMatrix(indptr=self.indptr, cols=self.cols, data=data, num_cols=self.num_cols)
+        indptr = _indptr_from_rows(rows[keep], self.num_rows)
+        return CsrMatrix(
+            indptr=indptr, cols=self.cols[keep], data=data[keep], num_cols=self.num_cols
+        )
+
+    def without_diagonal(self) -> "CsrMatrix":
+        """Drop the diagonal entries (the counters' off-diagonal convention)."""
+        if not self.nnz:
+            return self
+        return self.filter_entries(self.cols != self.row_ids())
+
+    def transpose(self) -> "CsrMatrix":
+        return CsrMatrix.from_coo(
+            self.cols, self.row_ids(), self.data, self.num_cols, self.num_rows
+        )
+
+    def row_sums(self) -> np.ndarray:
+        """Per-row entry sums (length ``num_rows``), exact int64."""
+        prefix = np.zeros(self.nnz + 1, dtype=np.int64)
+        np.cumsum(self.data, out=prefix[1:])
+        return prefix[self.indptr[1:]] - prefix[self.indptr[:-1]]
+
+
+def csr_linear_combination(
+    terms: Sequence[tuple[int, CsrMatrix]], num_rows: int, num_cols: int
+) -> CsrMatrix:
+    """Exact integer linear combination ``sum of coefficient * matrix``.
+
+    All terms must share the ``(num_rows, num_cols)`` shape; the result is
+    coalesced (cancelled entries vanish).
+    """
+    rows = [np.empty(0, dtype=np.int64)]
+    cols = [np.empty(0, dtype=np.int64)]
+    data = [np.empty(0, dtype=np.int64)]
+    for coefficient, matrix in terms:
+        if matrix.num_rows != num_rows or matrix.num_cols != num_cols:
+            raise DimensionMismatchError(
+                f"linear combination expects {num_rows}x{num_cols} terms, "
+                f"got {matrix.num_rows}x{matrix.num_cols}"
+            )
+        if coefficient == 0 or not matrix.nnz:
+            continue
+        rows.append(matrix.row_ids())
+        cols.append(matrix.cols)
+        data.append(matrix.data if coefficient == 1 else matrix.data * coefficient)
+    return CsrMatrix.from_coo(
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(data), num_rows, num_cols
+    )
+
+
+def spgemm_work(left: CsrMatrix, right: CsrMatrix) -> int:
+    """The exact expansion size of ``left · right``.
+
+    ``sum over stored entries (i, k) of left of nnz(row k of right)`` — the
+    same combinatorial cost the dict backend pays and the paper's
+    "iterate over neighbors" arguments charge.  O(nnz(left)) to compute.
+    """
+    if not left.nnz:
+        return 0
+    return int(right.row_lengths()[left.cols].sum())
+
+
+#: Default bound on the expanded-intermediate size of one SpGEMM row block
+#: (entries, i.e. ~8 bytes each across a handful of scratch arrays).  Peak
+#: memory of the kernel stays proportional to this regardless of the product's
+#: total work; 1<<22 entries keeps the scratch well under ~200 MB.
+SPGEMM_BLOCK_ENTRIES = 1 << 22
+
+#: Largest key space (block rows x columns) merged through the dense-scratch
+#: ``np.bincount`` accumulator instead of the sort-reduce pass (1<<22 float64
+#: cells = 32 MB scratch).
+SPGEMM_DENSE_MERGE_CELLS = 1 << 22
+
+#: See :data:`repro.matmul.engine._FLOAT64_EXACT_BOUND`: a bincount merge is
+#: only taken when every per-cell accumulation is provably below 2^53.
+_BINCOUNT_EXACT_BOUND = float(2**53)
+
+
+def csr_spgemm(
+    left: CsrMatrix, right: CsrMatrix, block_entries: int = SPGEMM_BLOCK_ENTRIES
+) -> tuple[CsrMatrix, int]:
+    """Exact integer SpGEMM ``left · right``; returns ``(product, work)``.
+
+    Gustavson's algorithm vectorized per *row block*: for a contiguous block
+    of left rows, every partial product is materialized at once — the right
+    rows selected by the block's entries are gathered with ``np.repeat``
+    arithmetic and multiplied against the repeated left values — then merged
+    by coordinate key ``row * num_cols + column``.  Two merge strategies,
+    chosen per block:
+
+    * **dense-scratch** — one ``np.bincount`` over a per-block accumulator of
+      ``block_rows * num_cols`` float64 cells, taken when the key space fits
+      :data:`SPGEMM_DENSE_MERGE_CELLS`, the expansion is dense enough in it to
+      amortize the scan, and every per-cell sum is provably below ``2^53`` (so
+      the float64 accumulation is exact — the same argument as
+      :func:`exact_integer_matmul`);
+    * **sort-reduce** — ``np.argsort`` + ``np.add.reduceat`` in pure int64,
+      always exact, used everywhere else.
+
+    Blocks are sized so the expanded intermediate stays under
+    ``block_entries`` (and the dense scratch under its cell budget), bounding
+    peak memory; a single row never splits.  ``work`` is the total expansion
+    size, the backend-independent multiplication count reported in
+    :class:`MultiplyStats`.
+    """
+    if left.num_cols != right.num_rows:
+        raise DimensionMismatchError(
+            f"cannot multiply {left.num_rows}x{left.num_cols} "
+            f"by {right.num_rows}x{right.num_cols}"
+        )
+    num_rows, num_cols = left.num_rows, right.num_cols
+    if not left.nnz or not right.nnz:
+        return CsrMatrix.empty(num_rows, num_cols), 0
+    if block_entries < 1:
+        raise ConfigurationError(f"block_entries must be positive, got {block_entries}")
+    entry_counts = right.row_lengths()[left.cols]
+    expanded = np.zeros(left.nnz + 1, dtype=np.int64)
+    np.cumsum(entry_counts, out=expanded[1:])
+    work_at_row = expanded[left.indptr]
+    total_work = int(expanded[-1])
+    # 0/1 operands (adjacency products — the counters' dominant case) need no
+    # value expansion at all: every partial product is 1, so merging reduces
+    # to *counting* coordinate keys.
+    unit_values = bool((left.data == 1).all()) and bool((right.data == 1).all())
+    # Worst-case per-cell accumulation magnitude; bounds every block because a
+    # block's expansion never exceeds the total.
+    magnitude_bound = (
+        float(np.abs(left.data).max()) * float(np.abs(right.data).max()) * float(total_work)
+    )
+    scratch_rows = SPGEMM_DENSE_MERGE_CELLS // max(num_cols, 1)
+    dense_merge_possible = unit_values or magnitude_bound < _BINCOUNT_EXACT_BOUND
+    out_rows: list[np.ndarray] = []
+    out_cols: list[np.ndarray] = []
+    out_data: list[np.ndarray] = []
+    start = 0
+    while start < num_rows:
+        stop = int(np.searchsorted(work_at_row, work_at_row[start] + block_entries, "right")) - 1
+        if scratch_rows and dense_merge_possible and stop > start + scratch_rows:
+            # Shrink to the dense-scratch row budget only when the capped
+            # block would actually be dense enough in its key space to take
+            # the bincount merge — otherwise the sort-reduce path runs, and
+            # capping it would just multiply the per-block overhead.
+            capped = start + scratch_rows
+            capped_size = int(work_at_row[capped] - work_at_row[start])
+            if 4 * capped_size >= scratch_rows * num_cols:
+                stop = capped
+        stop = min(max(stop, start + 1), num_rows)
+        first, last = int(left.indptr[start]), int(left.indptr[stop])
+        block_size = int(work_at_row[stop] - work_at_row[start])
+        start, block_start = stop, start
+        if block_size == 0:
+            continue
+        mids = left.cols[first:last]
+        counts = entry_counts[first:last]
+        ends = np.cumsum(counts)
+        # Positions into the right entry arrays: for each left entry, the
+        # contiguous run right.indptr[mid] .. right.indptr[mid + 1], expressed
+        # as one fused repeat of the run starts plus a global ramp.
+        positions = np.repeat(right.indptr[mids] - (ends - counts), counts)
+        positions += np.arange(block_size, dtype=np.int64)
+        entry_rows = expand_csr_rows(left.indptr[block_start:stop + 1] - first)
+        keys = np.repeat(entry_rows * np.int64(num_cols), counts) + right.cols[positions]
+        values = (
+            None
+            if unit_values
+            else np.repeat(left.data[first:last], counts) * right.data[positions]
+        )
+        cells = (stop - block_start) * num_cols
+        if cells <= SPGEMM_DENSE_MERGE_CELLS and (
+            4 * block_size >= cells and dense_merge_possible
+        ):
+            # Dense-scratch merge; the weighted variant is exact in float64
+            # under the proven bound, the unweighted one is integer counting.
+            sums = np.bincount(keys, weights=values, minlength=cells)
+            keys = np.flatnonzero(sums)
+            sums = sums[keys] if unit_values else np.rint(sums[keys]).astype(np.int64)
+        elif unit_values:
+            keys = np.sort(keys)
+            boundaries = np.flatnonzero(keys[1:] != keys[:-1]) + 1
+            starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+            sums = np.diff(np.concatenate((starts, [len(keys)])))
+            keys = keys[starts]
+        else:
+            keys, sums = _coalesce_keys(keys, values)
+        rows = keys // num_cols
+        out_rows.append(rows + block_start)
+        out_cols.append(keys - rows * num_cols)
+        out_data.append(sums)
+    if not out_rows:
+        return CsrMatrix.empty(num_rows, num_cols), total_work
+    rows = np.concatenate(out_rows)
+    indptr = _indptr_from_rows(rows, num_rows)
+    # Blocks cover disjoint, increasing row ranges and each block is key-sorted,
+    # so the concatenation is already in CSR order.
+    product = CsrMatrix(
+        indptr=indptr,
+        cols=np.concatenate(out_cols),
+        data=np.concatenate(out_data),
+        num_cols=num_cols,
+    )
+    return product, total_work
 
 
 @dataclass(frozen=True)
@@ -139,6 +489,52 @@ class CountMatrix:
     def set(self, row: Label, column: Label, value: int) -> None:
         """Set the entry at ``(row, column)`` to ``value``."""
         self.add(row, column, value - self.get(row, column))
+
+    def add_row(self, row: Label, columns: Sequence[Label], deltas) -> None:
+        """Bulk ``self[row, columns[k]] += deltas[k]`` over one row.
+
+        ``deltas`` is a per-column sequence or a single int applied to every
+        column.  Semantically identical to calling :meth:`add` per pair, but
+        the row dict, the nnz/column bookkeeping, and the version bump are
+        handled once per call instead of once per entry — the single-update
+        hot paths (wedge maintenance) and the incremental batch hooks apply
+        whole delta rows through this.
+        """
+        if not columns:
+            return
+        if isinstance(deltas, int):
+            if deltas == 0:
+                return
+            deltas = [deltas] * len(columns)
+        self._version += 1
+        row_map = self._rows.get(row)
+        if row_map is None:
+            row_map = {}
+            self._rows[row] = row_map
+        col_counts = self._col_counts
+        get_current = row_map.get
+        nnz_delta = 0
+        for column, delta in zip(columns, deltas):
+            if delta == 0:
+                continue
+            current = get_current(column, 0)
+            updated = current + delta
+            if current == 0:
+                nnz_delta += 1
+                col_counts[column] = col_counts.get(column, 0) + 1
+            if updated == 0:
+                del row_map[column]
+                nnz_delta -= 1
+                remaining = col_counts[column] - 1
+                if remaining:
+                    col_counts[column] = remaining
+                else:
+                    del col_counts[column]
+            else:
+                row_map[column] = updated
+        self._nnz += nnz_delta
+        if not row_map:
+            del self._rows[row]
 
     # -- bulk access ----------------------------------------------------------
     def row(self, row: Label) -> Mapping[Label, int]:
@@ -328,6 +724,54 @@ class CountMatrix:
         return result
 
     @classmethod
+    def from_csr(
+        cls,
+        matrix: "CsrMatrix",
+        row_order: Sequence[Label],
+        column_order: Optional[Sequence[Label]] = None,
+    ) -> "CountMatrix":
+        """Build a label-keyed matrix from a positional :class:`CsrMatrix`.
+
+        ``row_order[i]``/``column_order[j]`` name position ``i``/``j``
+        (``column_order`` defaults to ``row_order``).  Rows are promoted one
+        ``dict(zip(...))`` per non-empty row, mirroring :meth:`from_dense` —
+        this is how the CSR kernels' products cross back into the counters'
+        representation without per-entry ``add`` overhead.  The input's
+        invariants (coalesced, no explicit zeros) are assumed.
+        """
+        if column_order is None:
+            column_order = row_order
+        result = cls()
+        if not matrix.nnz:
+            return result
+        if len(set(row_order)) != len(row_order) or len(set(column_order)) != len(
+            column_order
+        ):
+            # Degenerate duplicate labels: colliding entries must sum.
+            entry_rows = matrix.row_ids().tolist()
+            for i, j, value in zip(entry_rows, matrix.cols.tolist(), matrix.data.tolist()):
+                result.add(row_order[i], column_order[j], int(value))
+            return result
+        column_labels = np.empty(len(column_order), dtype=object)
+        column_labels[:] = list(column_order)
+        entry_labels = column_labels[matrix.cols]
+        value_list = matrix.data.tolist()
+        indptr = matrix.indptr
+        rows = result._rows
+        for position in np.nonzero(np.diff(indptr))[0].tolist():
+            begin, end = int(indptr[position]), int(indptr[position + 1])
+            rows[row_order[position]] = dict(
+                zip(entry_labels[begin:end].tolist(), value_list[begin:end])
+            )
+        result._nnz = matrix.nnz
+        distinct_columns, per_column = np.unique(matrix.cols, return_counts=True)
+        result._col_counts = {
+            column_order[j]: int(count)
+            for j, count in zip(distinct_columns.tolist(), per_column.tolist())
+        }
+        return result
+
+    @classmethod
     def from_pairs(cls, pairs: Iterable[tuple[Label, Label]], value: int = 1) -> "CountMatrix":
         """Build a 0/1 (or constant-valued) matrix from an iterable of pairs."""
         result = cls()
@@ -376,6 +820,79 @@ class SparseBackend:
         return result, stats
 
 
+class CsrBackend:
+    """Vectorized integer CSR×CSR SpGEMM over the cached interned snapshots.
+
+    Operands are read through :meth:`CountMatrix.csr` (so a ``multiply_chain``
+    interns each matrix at most once per mutation), the middle axis is aligned
+    by remapping the (few) distinct left column labels onto right row
+    positions, and the product runs through :func:`csr_spgemm` — Gustavson
+    row-block expansion with exact int64 sort-reduce merges.  Work is the same
+    combinatorial quantity :class:`SparseBackend` pays (and reports), executed
+    at numpy constants instead of dict-probe constants.
+    """
+
+    name = "csr"
+
+    def __init__(self, block_entries: int = SPGEMM_BLOCK_ENTRIES) -> None:
+        self.block_entries = block_entries
+
+    def multiply(self, left: CountMatrix, right: CountMatrix) -> tuple[CountMatrix, MultiplyStats]:
+        left_csr = left.csr()
+        right_csr = right.csr()
+        row_order = left_csr.row_order
+        column_order = right_csr.col_order
+        middles = len(right_csr.row_order)
+        stats = MultiplyStats(
+            backend=self.name,
+            left_shape=(len(row_order), len(left_csr.col_order)),
+            right_shape=(middles, len(column_order)),
+            multiplications=0,
+            output_nnz=0,
+        )
+        if not left_csr.data.size or not right_csr.data.size:
+            return CountMatrix(), stats
+        left_matrix = self._aligned_left(left_csr, right_csr, middles)
+        right_matrix = CsrMatrix.from_parts(
+            right_csr.indptr, right_csr.col_ids, right_csr.data, len(column_order)
+        )
+        product, work = csr_spgemm(left_matrix, right_matrix, block_entries=self.block_entries)
+        result = CountMatrix.from_csr(product, row_order, column_order)
+        stats.multiplications = work
+        stats.output_nnz = result.nnz
+        return result, stats
+
+    @staticmethod
+    def _aligned_left(left_csr: CountMatrixCSR, right_csr: CountMatrixCSR, middles: int) -> CsrMatrix:
+        """The left operand with columns renumbered into right-row positions.
+
+        Only distinct labels are remapped; left columns with no matching right
+        row multiply an all-zero row, so their entries are dropped outright.
+        When the label orders coincide (the common case inside a product
+        chain) the identity mapping short-circuits everything.
+        """
+        if left_csr.col_order == right_csr.row_order:
+            return CsrMatrix.from_parts(
+                left_csr.indptr, left_csr.col_ids, left_csr.data, middles
+            )
+        right_rows = {label: position for position, label in enumerate(right_csr.row_order)}
+        mapping = np.fromiter(
+            (right_rows.get(label, -1) for label in left_csr.col_order),
+            dtype=np.int64,
+            count=len(left_csr.col_order),
+        )
+        mapped = mapping[left_csr.col_ids]
+        keep = mapped >= 0
+        if keep.all():
+            # The remap permutes column positions within each row; the kernel
+            # never relies on column order in its *left* operand (it only
+            # gathers right rows per entry), so no re-sort is needed.
+            return CsrMatrix.from_parts(left_csr.indptr, mapped, left_csr.data, middles)
+        rows = expand_csr_rows(left_csr.indptr)[keep]
+        indptr = _indptr_from_rows(rows, len(left_csr.row_order))
+        return CsrMatrix.from_parts(indptr, mapped[keep], left_csr.data[keep], middles)
+
+
 class DenseBackend:
     """Dense ``numpy``/BLAS multiplication over the trimmed label sets.
 
@@ -421,11 +938,19 @@ class DenseBackend:
         column_order = right_csr.col_order
         # Align the middle axis: left columns first, then right rows that are
         # new — only distinct labels are remapped, never individual entries.
-        middle_index = dict(left_csr.col_index)
-        for label in right_csr.row_order:
-            if label not in middle_index:
-                middle_index[label] = len(middle_index)
-        middles = len(middle_index)
+        # When the label sequences already coincide (typical inside a product
+        # chain, where each product's columns become the next left's middles)
+        # the left interning *is* the alignment: skip the per-label dict copy
+        # and remap entirely — it dominates small-matrix chains.
+        aligned = left_csr.col_order == right_csr.row_order
+        if aligned:
+            middles = len(left_csr.col_order)
+        else:
+            middle_index = dict(left_csr.col_index)
+            for label in right_csr.row_order:
+                if label not in middle_index:
+                    middle_index[label] = len(middle_index)
+            middles = len(middle_index)
         if not row_order or not middles or not column_order:
             return CountMatrix(), self._empty_stats(len(row_order), middles, len(column_order))
         left_dense = np.zeros((len(row_order), middles), dtype=np.int64)
@@ -433,12 +958,15 @@ class DenseBackend:
             left_dense[expand_csr_rows(left_csr.indptr), left_csr.col_ids] = left_csr.data
         right_dense = np.zeros((middles, len(column_order)), dtype=np.int64)
         if right_csr.data.size:
-            row_map = np.fromiter(
-                (middle_index[label] for label in right_csr.row_order),
-                dtype=np.int64,
-                count=len(right_csr.row_order),
-            )
-            rows = expand_csr_rows(right_csr.indptr, row_map)
+            if aligned:
+                rows = expand_csr_rows(right_csr.indptr)
+            else:
+                row_map = np.fromiter(
+                    (middle_index[label] for label in right_csr.row_order),
+                    dtype=np.int64,
+                    count=len(right_csr.row_order),
+                )
+                rows = expand_csr_rows(right_csr.indptr, row_map)
             right_dense[rows, right_csr.col_ids] = right_csr.data
         product = exact_integer_matmul(left_dense, right_dense)
         result = CountMatrix.from_dense(product, row_order, column_order)
@@ -482,17 +1010,21 @@ CostCallback = Callable[[MultiplyStats], None]
 class MatmulEngine:
     """Facade that selects a backend and reports work to a cost callback.
 
-    ``dense_threshold`` controls the automatic choice: when the estimated
-    sparse cost exceeds the dense cost times this factor the dense (FMM-proxy)
-    backend is used.  The counters pass ``backend="dense"`` explicitly for the
-    old-phase products — the whole point of the paper is that those products
-    go through fast matrix multiplication.
+    The automatic choice compares the constant-aware cost estimates of
+    :func:`repro.matmul.omega.product_cost_estimates`: tiny products stay on
+    the dict backend (no numpy launch overhead), sparse products go through
+    the CSR SpGEMM kernel, and products dense enough that the BLAS cube wins
+    go dense.  ``dense_threshold`` scales the dense estimate (values above 1.0
+    bias the choice away from dense).  The counters pass ``backend="dense"``
+    explicitly for the old-phase products — the whole point of the paper is
+    that those products go through fast matrix multiplication.
     """
 
     dense_threshold: float = 1.0
     cost_callback: Optional[CostCallback] = None
     _sparse: SparseBackend = field(default_factory=SparseBackend)
     _dense: DenseBackend = field(default_factory=DenseBackend)
+    _csr: CsrBackend = field(default_factory=CsrBackend)
 
     def multiply(
         self, left: CountMatrix, right: CountMatrix, backend: str = "auto"
@@ -518,17 +1050,27 @@ class MatmulEngine:
             return self._sparse
         if backend == "dense":
             return self._dense
+        if backend == "csr":
+            return self._csr
         if backend != "auto":
             raise ConfigurationError(
-                f"backend must be 'auto', 'sparse' or 'dense', got {backend!r}"
+                f"backend must be 'auto', 'sparse', 'csr' or 'dense', got {backend!r}"
             )
-        sparse_cost = self._estimate_sparse_cost(left, right)
-        dense_cost = self._estimate_dense_cost(left, right)
-        if dense_cost == 0:
+        from repro.matmul.omega import product_cost_estimates
+
+        expansion = self._estimate_sparse_cost(left, right)
+        rows = left.num_row_labels
+        middles = len(left.column_labels() | right.row_labels())
+        columns = right.num_column_labels
+        if rows * middles * columns == 0:
             return self._sparse
-        if sparse_cost > self.dense_threshold * dense_cost:
-            return self._dense
-        return self._sparse
+        costs = product_cost_estimates(rows, middles, columns, expansion)
+        dense_cost = self.dense_threshold * costs["dense"]
+        if costs["sparse"] <= min(costs["csr"], dense_cost):
+            return self._sparse
+        if costs["csr"] <= dense_cost:
+            return self._csr
+        return self._dense
 
     @staticmethod
     def _estimate_sparse_cost(left: CountMatrix, right: CountMatrix) -> int:
@@ -538,13 +1080,6 @@ class MatmulEngine:
             for middle in row_map:
                 cost += right_row_sizes.get(middle, 0)
         return cost
-
-    @staticmethod
-    def _estimate_dense_cost(left: CountMatrix, right: CountMatrix) -> int:
-        rows = len(left.row_labels())
-        middles = len(left.column_labels() | right.row_labels())
-        columns = len(right.column_labels())
-        return rows * middles * columns
 
 
 #: Largest magnitude a float64 represents exactly (2^53); dot products whose

@@ -55,6 +55,49 @@ OMEGA_STRASSEN = math.log2(7)
 OMEGA_IMPROVEMENT_THRESHOLD = 2.5
 
 
+# ---------------------------------------------------------------------------
+# Concrete (constant-factor) product cost model
+# ---------------------------------------------------------------------------
+# The exponent models above describe *asymptotics*; the running code also
+# needs constant-aware estimates to dispatch a concrete product between the
+# dense BLAS backend and the vectorized CSR SpGEMM kernel.  The unit is one
+# dense BLAS multiply-add; the other constants are calibrated ratios measured
+# on the E12 benchmark workloads (numpy gather/sort-reduce per expanded
+# SpGEMM entry, interpreter dict probing per expanded dict-backend entry).
+
+#: Cost of one dense BLAS multiply-add (the unit of this model).
+DENSE_FLOP_COST = 1.0
+
+#: Cost of one expanded SpGEMM entry (gather + repeat + sort-reduce share).
+CSR_OP_COST = 48.0
+
+#: Cost of one expanded dict-backend entry (hash, probe, boxed arithmetic).
+DICT_OP_COST = 600.0
+
+#: Fixed per-product overhead of a vectorized kernel launch, in cost units.
+#: Below roughly this much total work, python dicts win on constant overhead.
+VECTORIZED_PRODUCT_OVERHEAD = 20000.0
+
+
+def product_cost_estimates(
+    rows: int, middles: int, columns: int, expansion_work: int
+) -> Dict[str, float]:
+    """Estimated costs of one product on each backend, in dense-flop units.
+
+    ``expansion_work`` is the exact SpGEMM expansion size (see
+    :func:`repro.matmul.engine.spgemm_work`); ``rows``/``middles``/``columns``
+    are the trimmed dense dimensions.  Used by
+    :class:`repro.matmul.scheduler.ProductDispatcher` and by
+    :class:`repro.matmul.engine.MatmulEngine`'s automatic backend choice.
+    """
+    return {
+        "dense": float(rows) * float(middles) * float(columns) * DENSE_FLOP_COST
+        + VECTORIZED_PRODUCT_OVERHEAD,
+        "csr": float(expansion_work) * CSR_OP_COST + VECTORIZED_PRODUCT_OVERHEAD,
+        "sparse": float(expansion_work) * DICT_OP_COST,
+    }
+
+
 class RectangularModel(Protocol):
     """Oracle for the rectangular exponent ``omega(a, b, c)``."""
 

@@ -17,6 +17,10 @@ This module provides the machinery:
   is complete).
 * :class:`PhaseScheduler` — a queue of jobs advanced by a fixed per-update
   work budget; the counters call :meth:`PhaseScheduler.work` once per update.
+* :class:`ProductDispatcher` — the density-aware dense-BLAS versus CSR-SpGEMM
+  decision the counters' batched rebuild hooks route their whole-graph
+  products through, built on the constant-aware cost model of
+  :mod:`repro.matmul.omega`.
 
 The scheduler is deliberately agnostic about what the products mean; the
 counters decide which snapshots to multiply and read the results once
@@ -26,12 +30,13 @@ counters decide which snapshots to multiply and read the results once
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional
 
 from collections import deque
 
 from repro.exceptions import ConfigurationError, CounterStateError
 from repro.matmul.engine import CountMatrix
+from repro.matmul.omega import product_cost_estimates
 
 
 class IncrementalMatrixProduct:
@@ -223,3 +228,75 @@ class PhaseScheduler:
                 done += job.run_to_completion()
         self.total_operations += done
         return done
+
+
+# ---------------------------------------------------------------------------
+# Density-aware product dispatch
+# ---------------------------------------------------------------------------
+#: Backend names a dispatcher (and the counters' ``backend`` option) accepts.
+PRODUCT_BACKENDS = ("auto", "dense", "csr")
+
+
+@dataclass(frozen=True)
+class ProductDecision:
+    """Outcome of one dispatch: the chosen kernel and its cost estimates."""
+
+    backend: str
+    costs: Dict[str, float]
+
+    @property
+    def cost(self) -> float:
+        """The estimated cost of the chosen backend, in dense-flop units."""
+        return self.costs[self.backend]
+
+
+@dataclass(frozen=True)
+class ProductDispatcher:
+    """Chooses dense BLAS or CSR SpGEMM for a whole-graph matrix product.
+
+    The counters' batched rebuild hooks describe each product by its trimmed
+    dimensions and the exact SpGEMM expansion size (``nnz``-weighted work,
+    :func:`repro.matmul.engine.spgemm_work`) and dispatch through
+    :meth:`decide`.  The decision applies Claim 3.4 beyond empty rows: the
+    dense cube ``rows * middles * columns`` is compared against the expansion
+    work at calibrated per-operation constants
+    (:func:`repro.matmul.omega.product_cost_estimates`), so sparse graphs run
+    the Gustavson kernel and dense ones keep BLAS.  ``dense_cells_limit``
+    caps the dense operand/product sizes the automatic mode may materialize —
+    beyond it the CSR path is forced regardless of estimated speed, bounding
+    peak memory at million-vertex scale.  ``backend`` pins the choice
+    (``"dense"``/``"csr"``); ``"auto"`` compares costs.
+    """
+
+    backend: str = "auto"
+    #: Bias applied to the dense estimate; > 1.0 steers the tie region to CSR.
+    dense_bias: float = 1.0
+    #: Never densify matrices with more cells than this in automatic mode
+    #: (2^24 int64 cells = 128 MB per operand).
+    dense_cells_limit: int = 1 << 24
+
+    def __post_init__(self) -> None:
+        if self.backend not in PRODUCT_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {', '.join(PRODUCT_BACKENDS)}, "
+                f"got {self.backend!r}"
+            )
+
+    def decide(
+        self, rows: int, middles: int, columns: int, expansion_work: int
+    ) -> ProductDecision:
+        """Pick the kernel for one ``rows x middles · middles x columns``
+        product whose exact SpGEMM expansion size is ``expansion_work``."""
+        costs = product_cost_estimates(rows, middles, columns, expansion_work)
+        if self.backend != "auto":
+            return ProductDecision(backend=self.backend, costs=costs)
+        largest_cells = max(rows * middles, middles * columns, rows * columns)
+        if largest_cells > self.dense_cells_limit:
+            return ProductDecision(backend="csr", costs=costs)
+        if costs["csr"] <= self.dense_bias * costs["dense"]:
+            return ProductDecision(backend="csr", costs=costs)
+        return ProductDecision(backend="dense", costs=costs)
+
+    def decide_square(self, size: int, expansion_work: int) -> ProductDecision:
+        """Dispatch for a square ``size x size`` product (the adjacency case)."""
+        return self.decide(size, size, size, expansion_work)
