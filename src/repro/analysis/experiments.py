@@ -30,6 +30,9 @@ The experiments:
   against the dict sparse backend and dense BLAS on sparse, uniform, and
   dense instances, plus the wedge counter's incremental batch hook against
   its full rebuild — bit-identical results enforced on every row.
+* **E14** — shard-parallel scaling: the whole-product ``csr_spgemm`` and the
+  hhh22 masked rebuild on the E12 community instance at ``workers`` in
+  {1, 2, 4}, bit-identity against the serial path enforced on every row.
 """
 
 from __future__ import annotations
@@ -1043,4 +1046,251 @@ def _e12_wedge_hook_rows(
                 consistent=True,
             )
         )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E14 — shard-parallel SpGEMM and rebuild scaling
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardScalingRow:
+    """Throughput of one kernel at one worker count on the community instance.
+
+    ``speedup_vs_serial`` is relative to the ``workers=1`` row of the same
+    kernel (the plain serial path, no shard plan).  ``consistent`` records
+    bit-identity against that serial reference — the full CSR arrays for the
+    product family, the exact 4-cycle count (also checked against the closed
+    form for disjoint cliques) for the rebuild family.  It must be true on
+    every row; the CI perf-smoke job gates on it and never on timing.
+    """
+
+    kernel: str
+    variant: str
+    parameters: str
+    operations: int
+    seconds: float
+    per_second: float
+    speedup_vs_serial: float
+    consistent: bool
+
+
+#: Worker counts the E14 sweep covers by default.
+E14_WORKER_SWEEP = (1, 2, 4)
+
+
+def _community_csr_adjacency(num_communities: int, size: int) -> "CsrMatrix":
+    """The E12 community instance as an interned 0/1 CSR adjacency.
+
+    Same structure as :func:`_community_count_matrix` (disjoint ``size``-cliques,
+    both orientations, no diagonal) with rows already in interned id order —
+    the representation the counters' batch hooks hand to the SpGEMM kernel.
+    """
+    import numpy as np
+
+    from repro.matmul.engine import CsrMatrix
+
+    n = num_communities * size
+    rows, cols = [], []
+    for community in range(num_communities):
+        base = community * size
+        members = np.arange(base, base + size, dtype=np.int64)
+        grid_rows = np.repeat(members, size)
+        grid_cols = np.tile(members, size)
+        keep = grid_rows != grid_cols
+        rows.append(grid_rows[keep])
+        cols.append(grid_cols[keep])
+    all_rows = np.concatenate(rows)
+    return CsrMatrix.from_coo(
+        all_rows, np.concatenate(cols), np.ones(len(all_rows), dtype=np.int64), n, n
+    )
+
+
+def _community_clique_cycles(num_communities: int, size: int) -> int:
+    """Closed-form 4-cycle count of disjoint ``size``-cliques: ``3 C(s, 4)``
+    per clique (choose the 4 vertices; 3 distinct cyclic orderings)."""
+    import math
+
+    return num_communities * 3 * math.comb(size, 4)
+
+
+def _e14_spgemm_rows(
+    num_communities: int, size: int, workers: Sequence[int], repeats: int
+) -> List[ShardScalingRow]:
+    """Whole-product ``A @ A`` through the shard executor at each width."""
+    import time
+
+    import numpy as np
+
+    from repro.matmul.engine import csr_spgemm
+    from repro.matmul.sharding import ShardExecutor
+
+    adjacency = _community_csr_adjacency(num_communities, size)
+    reference, reference_work = csr_spgemm(adjacency, adjacency)
+    instance = (
+        f"communities(n={adjacency.num_rows},"
+        f"density={adjacency.nnz / adjacency.num_rows ** 2:.3%})"
+    )
+    rows: List[ShardScalingRow] = []
+    timings: Dict[int, float] = {}
+    for count in workers:
+        with ShardExecutor(workers=count) as executor:
+            best = None
+            for _ in range(max(repeats, 1)):
+                started = time.perf_counter()
+                product, work = executor.spgemm(adjacency, adjacency)
+                elapsed = max(time.perf_counter() - started, 1e-9)
+                best = elapsed if best is None else min(best, elapsed)
+            if count == 1:
+                # workers=1 short-circuits to the plain kernel: no shard
+                # plan, no column compression — the honest serial baseline.
+                shards, policy = 1, "serial"
+            else:
+                shards = executor.target_shards(reference_work, adjacency.num_rows)
+                policy = executor.resolve_policy(reference_work, shards)
+        consistent = (
+            work == reference_work
+            and np.array_equal(product.indptr, reference.indptr)
+            and np.array_equal(product.cols, reference.cols)
+            and np.array_equal(product.data, reference.data)
+        )
+        if not consistent:
+            raise CounterStateError(
+                f"E14: sharded product (workers={count}) diverged from the "
+                f"serial kernel on {instance}"
+            )
+        timings[count] = best
+        baseline = timings.get(1, best)
+        rows.append(
+            ShardScalingRow(
+                kernel=f"spgemm:{instance}",
+                variant=f"workers={count}",
+                parameters=f"policy={policy} shards={shards} nnz={adjacency.nnz}",
+                operations=reference_work,
+                seconds=best,
+                per_second=reference_work / best,
+                speedup_vs_serial=baseline / best,
+                consistent=True,
+            )
+        )
+    return rows
+
+
+def _e14_rebuild_rows(
+    num_communities: int,
+    size: int,
+    workers: Sequence[int],
+    churn_edges: int,
+    repeats: int,
+    seed: int,
+) -> List[ShardScalingRow]:
+    """The hhh22 masked CSR rebuild driven end-to-end through the engine.
+
+    Each engine is built from an :class:`EngineConfig` carrying the
+    ``workers`` option (exercising the spec/config forwarding path), loaded
+    with the full community graph, then timed on churn batches: a seeded set
+    of intra-community edges is deleted in one (untimed) batch and re-inserted
+    in the next (timed) one.  Both batches clear the hook threshold, so every
+    timed window is one full masked rebuild at standing graph size, and after
+    each timed batch the graph is back to the complete community instance —
+    where the count must equal the clique closed form.
+    """
+    import time
+
+    from repro.graph.updates import EdgeUpdate
+
+    rng = random.Random(seed)
+    edges = []
+    for community in range(num_communities):
+        base = community * size
+        edges.extend(
+            (base + a, base + b) for a in range(size) for b in range(a + 1, size)
+        )
+    churn = rng.sample(edges, min(churn_edges, len(edges)))
+    expected = _community_clique_cycles(num_communities, size)
+    instance = f"communities(n={num_communities * size},m={len(edges)})"
+    rows: List[ShardScalingRow] = []
+    timings: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for count in workers:
+        engine = FourCycleEngine(
+            EngineConfig(
+                counter="hhh22",
+                backend="csr",
+                workers=count,
+                batch_size=len(edges),
+                track_costs=False,
+            )
+        )
+        engine.apply_batch([EdgeUpdate.insert(u, v) for u, v in edges])
+        best = None
+        for _ in range(max(repeats, 1)):
+            engine.apply_batch([EdgeUpdate.delete(u, v) for u, v in churn])
+            started = time.perf_counter()
+            engine.apply_batch([EdgeUpdate.insert(u, v) for u, v in churn])
+            elapsed = max(time.perf_counter() - started, 1e-9)
+            best = elapsed if best is None else min(best, elapsed)
+        counts[count] = engine.count
+        timings[count] = best
+        engine.counter.shard_executor.close()
+        if engine.count != expected:
+            raise CounterStateError(
+                f"E14: hhh22 rebuild count {engine.count} (workers={count}) does "
+                f"not match the clique closed form {expected} on {instance}"
+            )
+    if len(set(counts.values())) > 1:
+        raise CounterStateError(f"E14: hhh22 counts diverged across workers: {counts}")
+    operations = len(churn)
+    for count in workers:
+        rows.append(
+            ShardScalingRow(
+                kernel="hhh22-masked-rebuild",
+                variant=f"workers={count}",
+                parameters=f"{instance} churn={len(churn)} count={counts[count]}",
+                operations=operations,
+                seconds=timings[count],
+                per_second=operations / timings[count],
+                speedup_vs_serial=timings[workers[0]] / timings[count],
+                consistent=True,
+            )
+        )
+    return rows
+
+
+def experiment_e14_shard_scaling(
+    community_count: int = 128,
+    community_size: int = 48,
+    workers: Sequence[int] = E14_WORKER_SWEEP,
+    churn_edges: int = 64,
+    repeats: int = 3,
+    seed: int = 0,
+) -> List[ShardScalingRow]:
+    """E14: shard-parallel SpGEMM and rebuild scaling on the community instance.
+
+    Two kernel families, each swept over ``workers``:
+
+    * **whole-product SpGEMM** — ``A @ A`` of the E12 community adjacency
+      through :class:`~repro.matmul.sharding.ShardExecutor`; the ``workers=1``
+      row is the plain serial kernel and every wider row must reproduce its
+      CSR arrays bit for bit (a mismatch raises, it is never reported);
+    * **hhh22 masked rebuild** — the full high/low-masked structure rebuild
+      at standing graph size, driven through
+      :class:`~repro.api.engine.FourCycleEngine` with the ``workers`` config
+      option, counts pinned to the disjoint-clique closed form.
+
+    Timing is min-of-``repeats`` applied to every width equally.  The
+    ``workers=1`` baseline is honest serial execution — no shard plan, no
+    column compression — so ``speedup_vs_serial`` measures everything the
+    sharded path adds: per-shard column compression (smaller dense-scratch
+    merges) plus whatever true parallelism the host's cores give the pool.
+    """
+    if not workers or list(workers)[0] != 1:
+        raise ConfigurationError(
+            f"E14 workers sweep must start at the serial baseline 1, got {workers!r}"
+        )
+    rows = _e14_spgemm_rows(community_count, community_size, workers, repeats)
+    rows.extend(
+        _e14_rebuild_rows(
+            community_count, community_size, workers, churn_edges, repeats, seed
+        )
+    )
     return rows

@@ -26,12 +26,19 @@ from repro.exceptions import ConfigurationError
 #: Options accepted by every counter but owned by :class:`EngineConfig` itself;
 #: they must be set through the config fields, not the options mapping, so a
 #: config never says the same thing twice.
-_RESERVED_OPTIONS = ("record_metrics", "interned", "backend")
+_RESERVED_OPTIONS = (
+    "record_metrics", "interned", "backend", "workers", "shard_policy", "block_entries"
+)
 
 #: Matmul backends a counter's batch kernels accept (mirrors
 #: :data:`repro.matmul.scheduler.PRODUCT_BACKENDS`; duplicated literally so a
 #: config error does not require importing the matmul layer).
 _BACKEND_CHOICES = ("auto", "dense", "csr")
+
+#: Shard execution policies the counters' shard-parallel SpGEMM accepts
+#: (mirrors :data:`repro.matmul.sharding.SHARD_POLICIES`; duplicated literally
+#: for the same import-isolation reason as the backends above).
+_SHARD_POLICY_CHOICES = ("auto", "serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -54,6 +61,9 @@ class EngineConfig:
     record_metrics: bool = False
     track_costs: bool = True
     backend: str = "auto"
+    workers: int = 1
+    shard_policy: str = "auto"
+    block_entries: "int | None" = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.batch_size, int) or isinstance(self.batch_size, bool):
@@ -67,6 +77,27 @@ class EngineConfig:
                 f"backend must be one of {', '.join(_BACKEND_CHOICES)}, "
                 f"got {self.backend!r}"
             )
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise ConfigurationError(
+                f"workers must be an integer, got {type(self.workers).__name__}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be positive, got {self.workers}")
+        if self.shard_policy not in _SHARD_POLICY_CHOICES:
+            raise ConfigurationError(
+                f"shard_policy must be one of {', '.join(_SHARD_POLICY_CHOICES)}, "
+                f"got {self.shard_policy!r}"
+            )
+        if self.block_entries is not None:
+            if not isinstance(self.block_entries, int) or isinstance(self.block_entries, bool):
+                raise ConfigurationError(
+                    f"block_entries must be an integer or None, "
+                    f"got {type(self.block_entries).__name__}"
+                )
+            if self.block_entries < 1:
+                raise ConfigurationError(
+                    f"block_entries must be positive, got {self.block_entries}"
+                )
         object.__setattr__(self, "options", dict(self.options))
         reserved = sorted(set(self.options) & set(_RESERVED_OPTIONS))
         if reserved:
@@ -79,21 +110,31 @@ class EngineConfig:
         # does not list (the reserved common options were handled above).
         spec = counter_spec(self.counter)
         spec.validate_options(self.options)
-        if self.backend != "auto" and not self._spec_accepts_backend(spec):
-            raise ConfigurationError(
-                f"counter {self.counter!r} does not accept a matmul backend; "
-                f"only backend='auto' is valid for it"
-            )
+        for name, value, default in self._kernel_fields():
+            if value != default and not self._spec_accepts(spec, name):
+                raise ConfigurationError(
+                    f"counter {self.counter!r} does not accept the {name!r} option; "
+                    f"only {name}={default!r} is valid for it"
+                )
+
+    def _kernel_fields(self) -> tuple:
+        """The shared batch-kernel fields forwarded like counter options."""
+        return (
+            ("backend", self.backend, "auto"),
+            ("workers", self.workers, 1),
+            ("shard_policy", self.shard_policy, "auto"),
+            ("block_entries", self.block_entries, None),
+        )
 
     @staticmethod
-    def _spec_accepts_backend(spec) -> bool:
-        """Whether the counter takes the shared ``backend`` keyword.
+    def _spec_accepts(spec, name: str) -> bool:
+        """Whether the counter takes one of the shared kernel keywords.
 
-        Registered built-ins declare it in their option list; legacy specs
+        Registered built-ins declare them in their option list; legacy specs
         registered from a bare factory (``options is None``) are assumed to
-        follow the base-class signature and accept it.
+        follow the base-class signature and accept them.
         """
-        return spec.options is None or "backend" in spec.option_names()
+        return spec.options is None or name in spec.option_names()
 
     @property
     def spec(self):
@@ -103,20 +144,20 @@ class EngineConfig:
     def counter_kwargs(self) -> Dict[str, object]:
         """The full keyword set to instantiate the counter with.
 
-        ``backend`` is forwarded only to counters that declare the option —
-        and, for legacy bare-factory specs (``options is None``, signature
-        unknown), only when it was explicitly set to a non-default value — so
-        a third-party counter that predates the option keeps working under
+        The shared kernel fields (``backend``, ``workers``, ``shard_policy``,
+        ``block_entries``) are forwarded only to counters that declare the
+        option — and, for legacy bare-factory specs (``options is None``,
+        signature unknown), only when explicitly set to a non-default value —
+        so a third-party counter that predates an option keeps working under
         the default config.
         """
         kwargs = dict(
             self.options, record_metrics=self.record_metrics, interned=self.interned
         )
         spec = self.spec
-        if "backend" in spec.option_names() or (
-            spec.options is None and self.backend != "auto"
-        ):
-            kwargs["backend"] = self.backend
+        for name, value, default in self._kernel_fields():
+            if name in spec.option_names() or (spec.options is None and value != default):
+                kwargs[name] = value
         return kwargs
 
     def with_updates(self, **changes) -> "EngineConfig":
@@ -136,6 +177,9 @@ class EngineConfig:
             "record_metrics": self.record_metrics,
             "track_costs": self.track_costs,
             "backend": self.backend,
+            "workers": self.workers,
+            "shard_policy": self.shard_policy,
+            "block_entries": self.block_entries,
         }
 
     @classmethod
@@ -148,7 +192,7 @@ class EngineConfig:
             )
         known = {
             "counter", "options", "batch_size", "interned", "record_metrics",
-            "track_costs", "backend",
+            "track_costs", "backend", "workers", "shard_policy", "block_entries",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -170,6 +214,9 @@ class EngineConfig:
             record_metrics=payload.get("record_metrics", False),
             track_costs=payload.get("track_costs", True),
             backend=payload.get("backend", "auto"),
+            workers=payload.get("workers", 1),
+            shard_policy=payload.get("shard_policy", "auto"),
+            block_entries=payload.get("block_entries", None),
         )
 
     @classmethod
@@ -185,6 +232,9 @@ class EngineConfig:
         interned = bool(options.pop("interned", True))
         record_metrics = bool(options.pop("record_metrics", False))
         backend = str(options.pop("backend", "auto"))
+        workers = int(options.pop("workers", 1))
+        shard_policy = str(options.pop("shard_policy", "auto"))
+        block_entries = options.pop("block_entries", None)
         return cls(
             counter=name,
             options=options,
@@ -192,4 +242,7 @@ class EngineConfig:
             interned=interned,
             record_metrics=record_metrics,
             backend=backend,
+            workers=workers,
+            shard_policy=shard_policy,
+            block_entries=block_entries,
         )

@@ -198,6 +198,14 @@ _BENCH_PROFILES = {
             "wedge_batch_size": 128,
             "product_repeats": 3,
         },
+        "e14": {
+            "community_count": 128,
+            "community_size": 48,
+            "workers": (1, 2, 4),
+            "churn_edges": 64,
+            "repeats": 3,
+            "seed": 0,
+        },
     },
     "quick": {
         "e10": {"num_vertices": 16, "num_updates": 384, "batch_sizes": (1, 64)},
@@ -218,6 +226,14 @@ _BENCH_PROFILES = {
             "wedge_churn_updates": 512,
             "wedge_batch_size": 64,
         },
+        "e14": {
+            "community_count": 48,
+            "community_size": 24,
+            "workers": (1, 2),
+            "churn_edges": 64,
+            "repeats": 1,
+            "seed": 0,
+        },
     },
 }
 
@@ -227,6 +243,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         experiment_e10_batch_throughput,
         experiment_e11_kernel_throughput,
         experiment_e12_spgemm_backends,
+        experiment_e14_shard_scaling,
         text_table,
         write_bench_artifact,
     )
@@ -237,15 +254,22 @@ def _command_bench(args: argparse.Namespace) -> int:
         "e10": ("E10", "batch-pipeline throughput", experiment_e10_batch_throughput),
         "e11": ("E11", "interned kernel throughput", experiment_e11_kernel_throughput),
         "e12": ("E12", "sparse-vs-dense product backends", experiment_e12_spgemm_backends),
+        "e14": ("E14", "shard-parallel scaling", experiment_e14_shard_scaling),
     }
     for name in chosen:
         if name not in runners:
-            print(f"unknown experiment {name!r}; expected a subset of: e10,e11,e12")
+            print(f"unknown experiment {name!r}; expected a subset of: e10,e11,e12,e14")
             return 2
     for name in chosen:
         artifact_name, title, runner = runners[name]
         params = dict(profile[name])
-        if name == "e12":
+        if name == "e14":
+            # --workers caps the sweep; the serial baseline always runs so
+            # every row's speedup and bit-identity check stay anchored.
+            params["workers"] = tuple(
+                count for count in params["workers"] if count <= args.workers
+            ) or (1,)
+        elif name == "e12":
             # --backend restricts the product sweep; the dict baseline always
             # runs for verification.
             params["backends"] = (
@@ -323,12 +347,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench",
-        help="run the perf experiments (E10/E11/E12) and write BENCH_E*.json artifacts",
+        help="run the perf experiments (E10/E11/E12/E14) and write BENCH_E*.json artifacts",
     )
     bench.add_argument(
         "--experiments",
-        default="e10,e11,e12",
-        help="comma-separated subset of e10,e11,e12 to run (default: all)",
+        default="e10,e11,e12,e14",
+        help="comma-separated subset of e10,e11,e12,e14 to run (default: all)",
     )
     bench.add_argument(
         "--backend",
@@ -338,6 +362,15 @@ def build_parser() -> argparse.ArgumentParser:
             "matmul backend passthrough: restricts the E12 product sweep to one "
             "backend (dict baseline always runs) and, for dense/csr, pins the "
             "counters' batch-kernel backend in E10/E11 (default: auto)"
+        ),
+    )
+    bench.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=4,
+        help=(
+            "cap the E14 shard-worker sweep (the workers=1 serial baseline "
+            "always runs; default: 4)"
         ),
     )
     bench.add_argument(

@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.core.oracles import OracleBackedCounter, PhaseThreePathOracle
 from repro.instrumentation.cost_model import CostModel
-from repro.matmul.engine import CountMatrix, CsrMatrix, csr_spgemm, exact_integer_matmul
+from repro.matmul.engine import CountMatrix, CsrMatrix, exact_integer_matmul
 from repro.theory.parameters import solve_main_parameters
 
 if TYPE_CHECKING:  # typing only; avoids a runtime import cycle
@@ -215,7 +215,7 @@ class AssadiShahThreePathOracle(PhaseThreePathOracle):
         """
         super().rebuild_from_mirrored_csr(graph, adjacency, labels, square)
         sparse_mask = self._recompute_mirrored_classes(2 * adjacency.row_lengths(), labels)
-        wedges, work = csr_spgemm(adjacency.filter_columns(sparse_mask), adjacency)
+        wedges, work = self._spgemm(adjacency.filter_columns(sparse_mask), adjacency)
         self._wedges_a_sparse_b = CountMatrix.from_csr(wedges, labels)
         self._wedges_b_sparse_c = self._wedges_a_sparse_b.copy()
         self.cost.charge("batch_rebuild", work)
@@ -386,6 +386,9 @@ class AssadiShahCounter(OracleBackedCounter):
         record_metrics: bool = False,
         interned: bool = True,
         backend: str = "auto",
+        workers: int = 1,
+        shard_policy: str = "auto",
+        block_entries: Optional[int] = None,
     ) -> None:
         oracle = AssadiShahThreePathOracle(
             phase_length=phase_length,
@@ -394,7 +397,13 @@ class AssadiShahCounter(OracleBackedCounter):
             min_phase_length=min_phase_length,
         )
         super().__init__(
-            oracle=oracle, record_metrics=record_metrics, interned=interned, backend=backend
+            oracle=oracle,
+            record_metrics=record_metrics,
+            interned=interned,
+            backend=backend,
+            workers=workers,
+            shard_policy=shard_policy,
+            block_entries=block_entries,
         )
 
     @property

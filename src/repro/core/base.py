@@ -76,7 +76,9 @@ from repro.graph.updates import (
 )
 from repro.instrumentation.cost_model import CostModel
 from repro.instrumentation.metrics import UpdateMetrics, UpdateRecord
+from repro.matmul.engine import CsrMatrix
 from repro.matmul.scheduler import ProductDispatcher
+from repro.matmul.sharding import ShardExecutor
 
 Vertex = Hashable
 
@@ -93,7 +95,13 @@ class DynamicFourCycleCounter(abc.ABC):
     batch_fast_path_threshold: int = 32
 
     def __init__(
-        self, record_metrics: bool = False, interned: bool = True, backend: str = "auto"
+        self,
+        record_metrics: bool = False,
+        interned: bool = True,
+        backend: str = "auto",
+        workers: int = 1,
+        shard_policy: str = "auto",
+        block_entries: Optional[int] = None,
     ) -> None:
         #: ``interned=True`` (default) keeps the graph's integer-interned
         #: representation live, which the batched ``_batch_hook`` fast paths
@@ -109,12 +117,37 @@ class DynamicFourCycleCounter(abc.ABC):
         #: whole-graph products.  ``backend`` pins the kernel ("dense"/"csr");
         #: the default "auto" compares cost estimates per product.  Validated
         #: here so a bad value fails at construction, not mid-batch.
-        self.product_dispatcher = ProductDispatcher(backend=backend)
+        self.product_dispatcher = ProductDispatcher(backend=backend, workers=workers)
+        #: Shard-parallel SpGEMM executor for the batch hooks' CSR products.
+        #: ``workers=1`` (the default) is an exact pass-through to the serial
+        #: kernel; more workers row-partition each product into
+        #: column-compressed shards and fan them out per ``shard_policy``
+        #: (results are bit-identical under every setting — see
+        #: :mod:`repro.matmul.sharding`).  ``block_entries`` tunes the serial
+        #: kernel's row-block budget alongside the shard sizing.
+        self.shard_executor = ShardExecutor(
+            workers=workers, policy=shard_policy, block_entries=block_entries
+        )
 
     @property
     def matmul_backend(self) -> str:
         """The configured product backend ("auto", "dense" or "csr")."""
         return self.product_dispatcher.backend
+
+    @property
+    def workers(self) -> int:
+        """The configured shard-parallel worker count (1 = serial kernels)."""
+        return self.shard_executor.workers
+
+    def _spgemm(self, left: CsrMatrix, right: CsrMatrix) -> tuple[CsrMatrix, int]:
+        """``left @ right`` through the counter's shard executor.
+
+        Batch hooks route their CSR products here instead of calling
+        :func:`repro.matmul.engine.csr_spgemm` directly, so one constructor
+        knob parallelizes every rebuild.  Bit-identical to the serial kernel
+        for every worker count and policy.
+        """
+        return self.shard_executor.spgemm(left, right)
 
     def _adjacency_product_decision(self):
         """Dispatch the square adjacency self-product ``A @ A``.

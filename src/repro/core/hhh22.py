@@ -39,7 +39,6 @@ from repro.graph.updates import UpdateBatch
 from repro.matmul.engine import (
     CountMatrix,
     csr_linear_combination,
-    csr_spgemm,
     exact_integer_matmul,
 )
 
@@ -52,9 +51,22 @@ class HHH22Counter(DynamicFourCycleCounter):
     name = "hhh22"
 
     def __init__(
-        self, record_metrics: bool = False, interned: bool = True, backend: str = "auto"
+        self,
+        record_metrics: bool = False,
+        interned: bool = True,
+        backend: str = "auto",
+        workers: int = 1,
+        shard_policy: str = "auto",
+        block_entries: Optional[int] = None,
     ) -> None:
-        super().__init__(record_metrics=record_metrics, interned=interned, backend=backend)
+        super().__init__(
+            record_metrics=record_metrics,
+            interned=interned,
+            backend=backend,
+            workers=workers,
+            shard_policy=shard_policy,
+            block_entries=block_entries,
+        )
         self._high: Set[Vertex] = set()
         self._wedges_low = CountMatrix()    # W_low[a][b], low center
         self._wedges_high = CountMatrix()   # W_hh[a][b], high center, a and b high
@@ -177,13 +189,13 @@ class HHH22Counter(DynamicFourCycleCounter):
         low_mask = ~high_mask
         self._high = {labels[i] for i in np.nonzero(high_mask)[0]}
         work = 0
-        wedge, spent = csr_spgemm(adjacency, adjacency)
+        wedge, spent = self._spgemm(adjacency, adjacency)
         work += spent
         wedge = wedge.without_diagonal()
         pairs = wedge.data * (wedge.data - 1) // 2
         self._count = int(pairs.sum()) // 4
         masked_columns = adjacency.filter_columns(low_mask)  # A . diag(L)
-        low_centers, spent = csr_spgemm(masked_columns, adjacency)
+        low_centers, spent = self._spgemm(masked_columns, adjacency)
         work += spent
         low_centers = low_centers.without_diagonal()
         self._wedges_low = CountMatrix.from_csr(low_centers, labels)
@@ -194,9 +206,9 @@ class HHH22Counter(DynamicFourCycleCounter):
         )
         self._wedges_high = CountMatrix.from_csr(high_centers, labels)
         middle = masked_columns.filter_rows(low_mask)  # diag(L) . A . diag(L)
-        inner, spent = csr_spgemm(adjacency, middle)
+        inner, spent = self._spgemm(adjacency, middle)
         work += spent
-        walks, spent = csr_spgemm(inner, adjacency)
+        walks, spent = self._spgemm(inner, adjacency)
         work += spent
         low_degrees = masked_columns.row_sums()
         end_reuse = adjacency.scale_rows(np.where(low_mask, low_degrees, 0))

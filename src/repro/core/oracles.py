@@ -107,6 +107,18 @@ class ThreePathOracle(abc.ABC):
             position: _ChainRelation() for position in CHAIN_POSITIONS
         }
         self._updates_processed = 0
+        #: Shard-parallel SpGEMM executor for the bulk-rebuild products;
+        #: installed by :class:`OracleBackedCounter` (which owns the worker
+        #: configuration).  ``None`` means the plain serial kernel.
+        self.shard_executor = None
+
+    def _spgemm(self, left: CsrMatrix, right: CsrMatrix) -> tuple[CsrMatrix, int]:
+        """``left @ right`` through the counter-installed shard executor,
+        falling back to the serial kernel when none is installed.  Both paths
+        are bit-identical; the executor is pure performance."""
+        if self.shard_executor is None:
+            return csr_spgemm(left, right)
+        return self.shard_executor.spgemm(left, right)
 
     # -- shared relation access -------------------------------------------------
     def relation(self, position: int) -> _ChainRelation:
@@ -467,7 +479,7 @@ class PhaseThreePathOracle(ThreePathOracle):
         :meth:`rebuild_from_mirrored_graph`.
         """
         super().rebuild_from_mirrored_csr(graph, adjacency, labels, square)
-        cube, work = csr_spgemm(square, adjacency)
+        cube, work = self._spgemm(square, adjacency)
         product_square = CountMatrix.from_csr(square, labels)
         self._promote_mirrored_products(
             CountMatrix.from_csr(adjacency, labels),
@@ -564,11 +576,24 @@ class OracleBackedCounter(DynamicFourCycleCounter):
         record_metrics: bool = False,
         interned: bool = True,
         backend: str = "auto",
+        workers: int = 1,
+        shard_policy: str = "auto",
+        block_entries: Optional[int] = None,
     ) -> None:
-        super().__init__(record_metrics=record_metrics, interned=interned, backend=backend)
+        super().__init__(
+            record_metrics=record_metrics,
+            interned=interned,
+            backend=backend,
+            workers=workers,
+            shard_policy=shard_policy,
+            block_entries=block_entries,
+        )
         self._oracle = oracle
-        # Share one cost model so oracle work shows up in the counter's totals.
+        # Share one cost model so oracle work shows up in the counter's totals,
+        # and one shard executor so the oracle's rebuild products parallelize
+        # under the same worker configuration (and share the same pools).
         self._oracle.cost = self.cost
+        self._oracle.shard_executor = self.shard_executor
 
     @property
     def oracle(self) -> ThreePathOracle:
@@ -607,7 +632,7 @@ class OracleBackedCounter(DynamicFourCycleCounter):
             self.cost.charge("batch_recount", n * n * n)
         else:
             adjacency = self._graph.csr_matrix()
-            square, work = csr_spgemm(adjacency, adjacency)
+            square, work = self._spgemm(adjacency, adjacency)
             labels = self._graph.interner.labels
             self._oracle.rebuild_from_mirrored_csr(self._graph, adjacency, labels, square)
             self._count = four_cycles_from_csr_square(

@@ -32,6 +32,9 @@ class PhaseFMMCounter(OracleBackedCounter):
         record_metrics: bool = False,
         interned: bool = True,
         backend: str = "auto",
+        workers: int = 1,
+        shard_policy: str = "auto",
+        block_entries: Optional[int] = None,
     ) -> None:
         oracle = PhaseThreePathOracle(
             phase_length=phase_length,
@@ -39,7 +42,13 @@ class PhaseFMMCounter(OracleBackedCounter):
             min_phase_length=min_phase_length,
         )
         super().__init__(
-            oracle=oracle, record_metrics=record_metrics, interned=interned, backend=backend
+            oracle=oracle,
+            record_metrics=record_metrics,
+            interned=interned,
+            backend=backend,
+            workers=workers,
+            shard_policy=shard_policy,
+            block_entries=block_entries,
         )
 
     @property

@@ -31,9 +31,7 @@ from repro.matmul.engine import (
     CountMatrix,
     CsrMatrix,
     csr_linear_combination,
-    csr_spgemm,
     exact_integer_matmul,
-    spgemm_work,
 )
 from repro.matmul.omega import CSR_OP_COST, DICT_OP_COST, VECTORIZED_PRODUCT_OVERHEAD
 
@@ -50,9 +48,19 @@ class WedgeCounter(DynamicFourCycleCounter):
         record_metrics: bool = False,
         interned: bool = True,
         backend: str = "auto",
+        workers: int = 1,
+        shard_policy: str = "auto",
+        block_entries: Optional[int] = None,
         incremental: Optional[bool] = None,
     ) -> None:
-        super().__init__(record_metrics=record_metrics, interned=interned, backend=backend)
+        super().__init__(
+            record_metrics=record_metrics,
+            interned=interned,
+            backend=backend,
+            workers=workers,
+            shard_policy=shard_policy,
+            block_entries=block_entries,
+        )
         #: ``wedges[a][b]`` = number of common neighbors of ``a`` and ``b``;
         #: stored symmetrically (both orientations) for O(1) lookups.
         self._wedges = CountMatrix()
@@ -148,8 +156,8 @@ class WedgeCounter(DynamicFourCycleCounter):
         delta = graph.interned_update_delta(batch)
         adjacency = graph.csr_matrix()
         n = adjacency.num_rows
-        touched_rows, work_new = csr_spgemm(delta, adjacency)      # ΔA · A_new
-        delta_square, work_delta = csr_spgemm(delta, delta)        # ΔA · ΔA
+        touched_rows, work_new = self._spgemm(delta, adjacency)    # ΔA · A_new
+        delta_square, work_delta = self._spgemm(delta, delta)      # ΔA · ΔA
         mirrored = csr_linear_combination(                         # ΔA · A_old
             [(1, touched_rows), (-1, delta_square)], n, n
         )
@@ -193,7 +201,7 @@ class WedgeCounter(DynamicFourCycleCounter):
     def _rebuild_csr(self) -> None:
         """Full rebuild through the sparse SpGEMM kernel (no dense n x n)."""
         adjacency = self._graph.csr_matrix()
-        wedge, work = csr_spgemm(adjacency, adjacency)
+        wedge, work = self._spgemm(adjacency, adjacency)
         wedge = wedge.without_diagonal()
         self._wedges = CountMatrix.from_csr(wedge, self._graph.interner.labels)
         pairs = wedge.data * (wedge.data - 1) // 2

@@ -42,6 +42,7 @@ instrumentation layer uses to account matrix work against the phase budget.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Iterable, Iterator, Mapping, Optional, Sequence
 
@@ -262,11 +263,29 @@ def spgemm_work(left: CsrMatrix, right: CsrMatrix) -> int:
     return int(right.row_lengths()[left.cols].sum())
 
 
+def _block_entries_from_env(default: int = 1 << 22) -> int:
+    """Resolve the block-entry budget, honouring ``REPRO_SPGEMM_BLOCK_ENTRIES``.
+
+    The env var lets benchmarks tune block sizing together with shard sizing
+    without code changes; EngineConfig's ``block_entries`` field overrides it
+    per engine.  Invalid or non-positive values fall back to the default
+    rather than erroring at import time.
+    """
+    raw = os.environ.get("REPRO_SPGEMM_BLOCK_ENTRIES", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
 #: Default bound on the expanded-intermediate size of one SpGEMM row block
 #: (entries, i.e. ~8 bytes each across a handful of scratch arrays).  Peak
 #: memory of the kernel stays proportional to this regardless of the product's
-#: total work; 1<<22 entries keeps the scratch well under ~200 MB.
-SPGEMM_BLOCK_ENTRIES = 1 << 22
+#: total work; 1<<22 entries keeps the scratch well under ~200 MB.  Override
+#: via the ``REPRO_SPGEMM_BLOCK_ENTRIES`` environment variable (read once at
+#: import) or per engine through ``EngineConfig(block_entries=...)``.
+SPGEMM_BLOCK_ENTRIES = _block_entries_from_env()
 
 #: Largest key space (block rows x columns) merged through the dense-scratch
 #: ``np.bincount`` accumulator instead of the sort-reduce pass (1<<22 float64
@@ -278,8 +297,15 @@ SPGEMM_DENSE_MERGE_CELLS = 1 << 22
 _BINCOUNT_EXACT_BOUND = float(2**53)
 
 
+#: Exclusive ceiling for the int32 index fast path inside the block loop:
+#: positions index into ``right``'s entry arrays and keys live in the
+#: block-local ``rows x num_cols`` space, so when both fit in int32 the
+#: expansion runs at half the memory bandwidth with identical integer results.
+_INT32_LIMIT = np.iinfo(np.int32).max
+
+
 def csr_spgemm(
-    left: CsrMatrix, right: CsrMatrix, block_entries: int = SPGEMM_BLOCK_ENTRIES
+    left: CsrMatrix, right: CsrMatrix, block_entries: Optional[int] = None
 ) -> tuple[CsrMatrix, int]:
     """Exact integer SpGEMM ``left · right``; returns ``(product, work)``.
 
@@ -313,6 +339,8 @@ def csr_spgemm(
     num_rows, num_cols = left.num_rows, right.num_cols
     if not left.nnz or not right.nnz:
         return CsrMatrix.empty(num_rows, num_cols), 0
+    if block_entries is None:
+        block_entries = SPGEMM_BLOCK_ENTRIES
     if block_entries < 1:
         raise ConfigurationError(f"block_entries must be positive, got {block_entries}")
     entry_counts = right.row_lengths()[left.cols]
@@ -331,6 +359,14 @@ def csr_spgemm(
     )
     scratch_rows = SPGEMM_DENSE_MERGE_CELLS // max(num_cols, 1)
     dense_merge_possible = unit_values or magnitude_bound < _BINCOUNT_EXACT_BOUND
+    # Narrow index fast path: positions index right's entry arrays and keys
+    # live in the block-local ``rows * num_cols`` space, so when both bounds
+    # fit in int32 the expansion arrays (the kernel's dominant memory
+    # traffic) are built at half width.  Integer arithmetic is exact in both
+    # widths, so results are bit-identical; the right-column cast is done
+    # lazily on the first eligible block.
+    int32_eligible = right.nnz < _INT32_LIMIT and num_cols <= _INT32_LIMIT
+    right_cols32: Optional[np.ndarray] = None
     out_rows: list[np.ndarray] = []
     out_cols: list[np.ndarray] = []
     out_data: list[np.ndarray] = []
@@ -355,19 +391,28 @@ def csr_spgemm(
         mids = left.cols[first:last]
         counts = entry_counts[first:last]
         ends = np.cumsum(counts)
+        entry_rows = expand_csr_rows(left.indptr[block_start:stop + 1] - first)
+        cells = (stop - block_start) * num_cols
         # Positions into the right entry arrays: for each left entry, the
         # contiguous run right.indptr[mid] .. right.indptr[mid + 1], expressed
         # as one fused repeat of the run starts plus a global ramp.
-        positions = np.repeat(right.indptr[mids] - (ends - counts), counts)
-        positions += np.arange(block_size, dtype=np.int64)
-        entry_rows = expand_csr_rows(left.indptr[block_start:stop + 1] - first)
-        keys = np.repeat(entry_rows * np.int64(num_cols), counts) + right.cols[positions]
+        if int32_eligible and block_size < _INT32_LIMIT and cells < _INT32_LIMIT:
+            if right_cols32 is None:
+                right_cols32 = right.cols.astype(np.int32)
+            starts32 = (right.indptr[mids] - (ends - counts)).astype(np.int32)
+            positions = np.repeat(starts32, counts)
+            positions += np.arange(block_size, dtype=np.int32)
+            keys = np.repeat((entry_rows * num_cols).astype(np.int32), counts)
+            keys += right_cols32[positions]
+        else:
+            positions = np.repeat(right.indptr[mids] - (ends - counts), counts)
+            positions += np.arange(block_size, dtype=np.int64)
+            keys = np.repeat(entry_rows * np.int64(num_cols), counts) + right.cols[positions]
         values = (
             None
             if unit_values
             else np.repeat(left.data[first:last], counts) * right.data[positions]
         )
-        cells = (stop - block_start) * num_cols
         if cells <= SPGEMM_DENSE_MERGE_CELLS and (
             4 * block_size >= cells and dense_merge_possible
         ):
@@ -384,6 +429,9 @@ def csr_spgemm(
             keys = keys[starts]
         else:
             keys, sums = _coalesce_keys(keys, values)
+        # Post-merge arrays are small (one entry per distinct coordinate);
+        # widen back to int64 so block outputs concatenate uniformly.
+        keys = keys.astype(np.int64, copy=False)
         rows = keys // num_cols
         out_rows.append(rows + block_start)
         out_cols.append(keys - rows * num_cols)

@@ -78,6 +78,14 @@ DICT_OP_COST = 600.0
 #: Below roughly this much total work, python dicts win on constant overhead.
 VECTORIZED_PRODUCT_OVERHEAD = 20000.0
 
+#: Per-shard overhead of dispatching one SpGEMM shard to a *process* pool —
+#: pickling the column-compressed view out, the result back, and the pool's
+#: own task machinery — in the same cost units.  A shard whose expansion work
+#: (at :data:`CSR_OP_COST` per entry) is below this is cheaper on a thread
+#: pool, where numpy's GIL-releasing passes still overlap but nothing pays
+#: serialization; see :class:`repro.matmul.sharding.ShardExecutor`.
+PROCESS_SHARD_OVERHEAD = 2e7
+
 
 def product_cost_estimates(
     rows: int, middles: int, columns: int, expansion_work: int

@@ -266,6 +266,13 @@ class ProductDispatcher:
     beyond it the CSR path is forced regardless of estimated speed, bounding
     peak memory at million-vertex scale.  ``backend`` pins the choice
     (``"dense"``/``"csr"``); ``"auto"`` compares costs.
+
+    ``workers > 1`` marks the CSR kernel as shard-parallel (see
+    :class:`repro.matmul.sharding.ShardExecutor`): its estimate is divided by
+    the parallelism the host can actually grant the pool, tilting the
+    automatic choice toward the kernel that scales out.  The dense BLAS path
+    keeps its serial estimate — its threading (if any) belongs to the BLAS
+    library, not to this dispatcher.
     """
 
     backend: str = "auto"
@@ -274,6 +281,8 @@ class ProductDispatcher:
     #: Never densify matrices with more cells than this in automatic mode
     #: (2^24 int64 cells = 128 MB per operand).
     dense_cells_limit: int = 1 << 24
+    #: Shard-parallel worker count backing the CSR kernel (1 = serial).
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.backend not in PRODUCT_BACKENDS:
@@ -281,6 +290,14 @@ class ProductDispatcher:
                 f"backend must be one of {', '.join(PRODUCT_BACKENDS)}, "
                 f"got {self.backend!r}"
             )
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be positive, got {self.workers}")
+
+    def _csr_parallelism(self) -> int:
+        """How much the host can actually divide the CSR estimate by."""
+        from repro.matmul.sharding import available_cores
+
+        return max(1, min(self.workers, available_cores()))
 
     def decide(
         self, rows: int, middles: int, columns: int, expansion_work: int
@@ -288,6 +305,8 @@ class ProductDispatcher:
         """Pick the kernel for one ``rows x middles · middles x columns``
         product whose exact SpGEMM expansion size is ``expansion_work``."""
         costs = product_cost_estimates(rows, middles, columns, expansion_work)
+        if self.workers > 1:
+            costs = dict(costs, csr=costs["csr"] / self._csr_parallelism())
         if self.backend != "auto":
             return ProductDecision(backend=self.backend, costs=costs)
         largest_cells = max(rows * middles, middles * columns, rows * columns)

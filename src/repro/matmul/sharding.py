@@ -1,0 +1,405 @@
+"""Shard-parallel SpGEMM over row-partitioned CSR operands.
+
+The Gustavson kernel in :mod:`repro.matmul.engine` is single-threaded: one
+process walks the row blocks of ``left`` in order.  This module turns that
+row seam into a parallel one.  A :class:`ShardPlan` partitions the interned
+row-id space into contiguous row blocks balanced by *expansion work* — the
+nnz of the expanded intermediate each row produces, not the row count — so a
+heavy row costs its shard what it actually costs the kernel.  A
+:class:`ShardExecutor` extracts a self-contained, column-compressed view per
+shard, fans the per-shard products out over a ``concurrent.futures`` pool
+(process pool with pickled shard views, or a thread pool where fork/pickle
+overhead would dominate), and merges the per-shard CSR deltas back into one
+product deterministically.
+
+Exactness is preserved bit for bit, which the property tests pin against the
+serial kernel:
+
+* shards never split a row, so every output row is produced whole by exactly
+  one shard;
+* per-shard products are integer-exact and key-sorted within each row (the
+  kernel's own invariant), and the shard-local -> global column mapping is
+  strictly monotone, so mapped rows stay column-sorted;
+* exact integer sums are independent of evaluation order, so zero entries
+  drop identically;
+* shard results are merged in shard index order (``Executor.map`` order, not
+  completion order), and shards cover disjoint increasing row ranges, so the
+  concatenation *is* the serial CSR layout.
+
+The column compression is the same trick distributed 1D SpGEMM uses to cut
+communication: a shard only ships the right-operand rows its left entries
+reference, with columns renumbered to the shard's footprint.  Besides
+shrinking pickles, this shrinks the kernel's per-block key space, which on
+community-structured operands lets the dense-scratch merge run over a few
+hundred thousand cells instead of millions — the measured source of the E14
+single-host speedup, on top of whatever true parallelism the pool adds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.matmul.engine import CsrMatrix, csr_spgemm
+from repro.matmul.omega import CSR_OP_COST, PROCESS_SHARD_OVERHEAD
+
+#: Recognised shard execution policies.  ``auto`` picks per product: inline
+#: when the host gives the pool no parallelism, otherwise thread vs process
+#: by the cost model below.  ``serial`` forces inline execution of the shard
+#: plan (still sharded, still column-compressed — just no pool), which is
+#: also the degenerate choice on a single-core host.
+SHARD_POLICIES = ("auto", "serial", "thread", "process")
+
+#: Default shards-per-worker factor.  Oversharding keeps the pool busy when
+#: shards finish unevenly and shrinks each shard's key space; factor 4 is the
+#: measured sweet spot on the E14 community instance (below it the dense
+#: scratch stays too large, far above it per-shard overhead creeps back).
+DEFAULT_OVERSHARD = 4
+
+#: Smallest expansion work worth a shard of its own.  Below this the plan
+#: collapses toward fewer shards, and a product whose *total* work is under
+#: the floor short-circuits to the serial kernel outright.
+MIN_SHARD_WORK = 1 << 15
+
+
+class ShardView(NamedTuple):
+    """A self-contained, picklable slice of one SpGEMM product.
+
+    ``left_*`` hold the shard's row range of the left operand with columns
+    renumbered into the footprint of right rows it references; ``right_*``
+    hold exactly those right rows with columns renumbered into the shard's
+    output footprint.  ``local_cols`` maps shard-local output columns back to
+    global ids; ``row_start`` anchors the shard's rows in the global product.
+    """
+
+    row_start: int
+    left_indptr: np.ndarray
+    left_cols: np.ndarray
+    left_data: np.ndarray
+    right_indptr: np.ndarray
+    right_cols: np.ndarray
+    right_data: np.ndarray
+    local_cols: np.ndarray
+
+
+class ShardResult(NamedTuple):
+    """One shard's merged product rows, in global column ids."""
+
+    row_start: int
+    num_rows: int
+    row_lengths: np.ndarray
+    cols: np.ndarray
+    data: np.ndarray
+    work: int
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Contiguous row boundaries for one product, balanced by expansion work.
+
+    ``bounds`` has ``num_shards + 1`` entries; shard ``i`` owns rows
+    ``bounds[i]:bounds[i + 1]`` of the left operand.  Rows are never split:
+    a single row heavier than the even share gets a shard to itself and its
+    neighbours rebalance around it.
+    """
+
+    bounds: np.ndarray
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.bounds) - 1
+
+    def ranges(self) -> Iterator[tuple[int, int]]:
+        for lo, hi in zip(self.bounds[:-1], self.bounds[1:]):
+            yield int(lo), int(hi)
+
+    @classmethod
+    def balanced(cls, left: CsrMatrix, right: CsrMatrix, shards: int) -> "ShardPlan":
+        """Split ``left``'s rows into at most ``shards`` work-balanced blocks.
+
+        The weight of a row is its expansion size — the summed nnz of the
+        right rows its entries select — i.e. exactly the per-row work the
+        Gustavson kernel performs.  Boundaries are the positions where the
+        cumulative work crosses each even quantile; duplicates collapse, so
+        fewer than ``shards`` blocks come back when the matrix is small or
+        one row dominates.
+        """
+        if shards < 1:
+            raise ConfigurationError(f"shards must be positive, got {shards}")
+        num_rows = left.num_rows
+        if num_rows == 0:
+            return cls(bounds=np.zeros(1, dtype=np.int64))
+        if not left.nnz or shards == 1:
+            return cls(bounds=np.array([0, num_rows], dtype=np.int64))
+        counts = right.row_lengths()[left.cols]
+        expanded = np.zeros(left.nnz + 1, dtype=np.int64)
+        np.cumsum(counts, out=expanded[1:])
+        work_at_row = expanded[left.indptr]
+        targets = work_at_row[-1] * np.arange(1, shards) // shards
+        inner = np.searchsorted(work_at_row, targets, side="left")
+        bounds = np.unique(
+            np.concatenate((np.zeros(1, dtype=np.int64), inner, [num_rows]))
+        )
+        return cls(bounds=bounds.astype(np.int64, copy=False))
+
+
+def extract_shard_view(
+    left: CsrMatrix,
+    right: CsrMatrix,
+    lo: int,
+    hi: int,
+    right_row_lengths: Optional[np.ndarray] = None,
+) -> ShardView:
+    """Build the column-compressed view of rows ``lo:hi`` of the product.
+
+    Both renumberings go through flag-array lookups (no sorts beyond the
+    implicit order of ``np.flatnonzero``), and both are strictly monotone, so
+    per-row column order — the kernel invariant the merge relies on — is
+    preserved in either direction.
+    """
+    first, last = int(left.indptr[lo]), int(left.indptr[hi])
+    left_cols = left.cols[first:last]
+    flags = np.zeros(right.num_rows, dtype=bool)
+    flags[left_cols] = True
+    needed_rows = np.flatnonzero(flags)
+    row_map = np.zeros(right.num_rows, dtype=np.int64)
+    row_map[needed_rows] = np.arange(len(needed_rows), dtype=np.int64)
+    lengths = (
+        right_row_lengths if right_row_lengths is not None else right.row_lengths()
+    )[needed_rows]
+    sub_indptr = np.zeros(len(needed_rows) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=sub_indptr[1:])
+    total = int(sub_indptr[-1])
+    positions = np.repeat(right.indptr[needed_rows] - sub_indptr[:-1], lengths)
+    positions += np.arange(total, dtype=np.int64)
+    sub_cols = right.cols[positions]
+    col_flags = np.zeros(right.num_cols, dtype=bool)
+    col_flags[sub_cols] = True
+    local_cols = np.flatnonzero(col_flags)
+    col_map = np.zeros(right.num_cols, dtype=np.int64)
+    col_map[local_cols] = np.arange(len(local_cols), dtype=np.int64)
+    return ShardView(
+        row_start=lo,
+        left_indptr=left.indptr[lo : hi + 1] - first,
+        left_cols=row_map[left_cols],
+        left_data=left.data[first:last],
+        right_indptr=sub_indptr,
+        right_cols=col_map[sub_cols],
+        right_data=right.data[positions],
+        local_cols=local_cols,
+    )
+
+
+def run_shard_task(view: ShardView, block_entries: Optional[int] = None) -> ShardResult:
+    """Multiply one shard view through the serial kernel.
+
+    Module-level (not a closure) so process pools can pickle it; the view's
+    arrays are the only payload either direction.
+    """
+    left = CsrMatrix(
+        indptr=view.left_indptr,
+        cols=view.left_cols,
+        data=view.left_data,
+        num_cols=len(view.right_indptr) - 1,
+    )
+    right = CsrMatrix(
+        indptr=view.right_indptr,
+        cols=view.right_cols,
+        data=view.right_data,
+        num_cols=len(view.local_cols),
+    )
+    product, work = csr_spgemm(left, right, block_entries=block_entries)
+    return ShardResult(
+        row_start=view.row_start,
+        num_rows=left.num_rows,
+        row_lengths=np.diff(product.indptr),
+        cols=view.local_cols[product.cols],
+        data=product.data,
+        work=work,
+    )
+
+
+def merge_shard_results(
+    results: Sequence[ShardResult], num_rows: int, num_cols: int
+) -> tuple[CsrMatrix, int]:
+    """Concatenate per-shard rows (already in shard index order) into one CSR.
+
+    Deterministic by construction: the caller supplies results in plan
+    order, shards cover disjoint increasing row ranges, and each shard's rows
+    arrive column-sorted in global ids, so this is the serial kernel's exact
+    output layout.
+    """
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    lengths = np.concatenate(
+        [np.zeros(0, dtype=np.int64)] + [r.row_lengths for r in results]
+    )
+    np.cumsum(lengths, out=indptr[1:])
+    product = CsrMatrix(
+        indptr=indptr,
+        cols=np.concatenate(
+            [np.zeros(0, dtype=np.int64)] + [r.cols for r in results]
+        ),
+        data=np.concatenate(
+            [np.zeros(0, dtype=np.int64)] + [r.data for r in results]
+        ),
+        num_cols=num_cols,
+    )
+    return product, int(sum(r.work for r in results))
+
+
+def available_cores() -> int:
+    """Best-effort count of cores this process may use."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+class ShardExecutor:
+    """Plans, dispatches, and merges shard-parallel SpGEMM products.
+
+    ``workers=1`` (the default everywhere) is an exact pass-through to the
+    serial kernel — no planning, no compression, no pool.  With more workers
+    the executor builds a :class:`ShardPlan` of ``workers * overshard``
+    blocks and runs them under ``policy``:
+
+    * ``auto`` — inline when the host grants the pool no parallelism
+      (``effective_parallelism() == 1``); otherwise a process pool when the
+      per-shard work amortizes fork + pickle (see
+      :data:`repro.matmul.omega.PROCESS_SHARD_OVERHEAD`), and a thread pool
+      for smaller products, where the kernel's GIL-releasing numpy passes
+      still overlap but nothing pays serialization;
+    * ``serial`` / ``thread`` / ``process`` — force that vehicle.
+
+    Pools are created lazily, reused across products, and released by
+    :meth:`close` (the executor is also a context manager).  Results merge
+    in plan order regardless of completion order, so every policy returns
+    bit-identical output — the policy is pure performance.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        policy: str = "auto",
+        overshard: int = DEFAULT_OVERSHARD,
+        block_entries: Optional[int] = None,
+        min_shard_work: int = MIN_SHARD_WORK,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be positive, got {workers}")
+        if policy not in SHARD_POLICIES:
+            raise ConfigurationError(
+                f"unknown shard policy {policy!r}; expected one of {SHARD_POLICIES}"
+            )
+        if overshard < 1:
+            raise ConfigurationError(f"overshard must be positive, got {overshard}")
+        self.workers = workers
+        self.policy = policy
+        self.overshard = overshard
+        self.block_entries = block_entries
+        self.min_shard_work = min_shard_work
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+
+    # -- policy -------------------------------------------------------------
+
+    def effective_parallelism(self) -> int:
+        """How many shard tasks can truly run at once on this host."""
+        return max(1, min(self.workers, available_cores()))
+
+    def resolve_policy(self, total_work: int, num_shards: int) -> str:
+        """Pick the execution vehicle for one product under ``auto``."""
+        if self.policy != "auto":
+            return self.policy
+        if self.workers == 1:
+            return "serial"
+        if self.effective_parallelism() == 1:
+            # A pool cannot help; the shard plan itself (column compression,
+            # small dense-scratch merges) is the whole win.
+            return "serial"
+        per_shard_cost = total_work * CSR_OP_COST / max(num_shards, 1)
+        if per_shard_cost < PROCESS_SHARD_OVERHEAD:
+            return "thread"
+        return "process"
+
+    # -- pools --------------------------------------------------------------
+
+    def _pool(self, kind: str) -> Executor:
+        size = self.effective_parallelism()
+        if kind == "thread":
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=size, thread_name_prefix="repro-shard"
+                )
+            return self._thread_pool
+        if self._process_pool is None:
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=size, mp_context=context
+            )
+        return self._process_pool
+
+    def close(self) -> None:
+        """Shut down any pools this executor created."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # defensive: don't leak worker processes
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- products -----------------------------------------------------------
+
+    def target_shards(self, total_work: int, num_rows: int) -> int:
+        """How many shards one product should split into."""
+        by_workers = self.workers * self.overshard
+        by_work = max(1, total_work // max(self.min_shard_work, 1))
+        return max(1, min(by_workers, by_work, num_rows))
+
+    def spgemm(self, left: CsrMatrix, right: CsrMatrix) -> tuple[CsrMatrix, int]:
+        """Exact ``left @ right``, bit-identical to :func:`csr_spgemm`."""
+        if self.workers == 1 or not left.nnz or not right.nnz:
+            return csr_spgemm(left, right, block_entries=self.block_entries)
+        total_work = int(right.row_lengths()[left.cols].sum())
+        shards = self.target_shards(total_work, left.num_rows)
+        if shards <= 1:
+            return csr_spgemm(left, right, block_entries=self.block_entries)
+        plan = ShardPlan.balanced(left, right, shards)
+        if plan.num_shards <= 1:
+            return csr_spgemm(left, right, block_entries=self.block_entries)
+        policy = self.resolve_policy(total_work, plan.num_shards)
+        lengths = right.row_lengths()
+        views = [
+            extract_shard_view(left, right, lo, hi, right_row_lengths=lengths)
+            for lo, hi in plan.ranges()
+        ]
+        if policy == "serial":
+            results = [run_shard_task(view, self.block_entries) for view in views]
+        else:
+            pool = self._pool(policy)
+            # Executor.map preserves submission order, making the merge
+            # deterministic even when shards finish out of order.
+            results = list(
+                pool.map(run_shard_task, views, [self.block_entries] * len(views))
+            )
+        return merge_shard_results(results, left.num_rows, right.num_cols)

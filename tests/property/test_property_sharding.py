@@ -1,0 +1,105 @@
+"""Property tests (hypothesis): shard-parallel counters are bit-identical.
+
+The shard layer's contract is that ``workers`` is pure performance: for any
+consistent update stream, any batch window, any worker count, and any
+execution policy, a counter built with ``workers > 1`` reports exactly the
+counts (and, for the wedge counter, exactly the maintained wedge matrix) of
+the serial ``workers=1`` counter.  The executors are re-armed with
+``min_shard_work=1`` so even the tiny hypothesis graphs genuinely split into
+multiple shards — the default floor would collapse them back to the serial
+kernel and the test would pin nothing.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import counter_spec
+from repro.matmul.sharding import ShardExecutor
+
+from tests.property.test_property_counters import consistent_streams
+
+#: The counters whose batch hooks route products through the shard executor.
+SHARDED_COUNTERS = ("wedge", "hhh22", "assadi-shah")
+FAST_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _sharded_counter(name: str, workers: int, policy: str = "serial", backend: str = "csr"):
+    """A counter whose executor shards aggressively even on tiny graphs."""
+    counter = counter_spec(name).create(backend=backend, workers=workers)
+    executor = ShardExecutor(workers=workers, policy=policy, min_shard_work=1)
+    counter.shard_executor = executor
+    oracle = getattr(counter, "_oracle", None)
+    if oracle is not None and hasattr(oracle, "shard_executor"):
+        oracle.shard_executor = executor
+    counter.batch_fast_path_threshold = 1
+    return counter
+
+
+def _replay_in_batches(counter, stream, window: int):
+    counts = []
+    updates = list(stream)
+    for start in range(0, len(updates), window):
+        counter.apply_batch(updates[start : start + window])
+        counts.append(counter.count)
+    return counts
+
+
+@given(
+    name=st.sampled_from(SHARDED_COUNTERS),
+    backend=st.sampled_from(["auto", "dense", "csr"]),
+    workers=st.sampled_from([2, 4]),
+    window=st.integers(min_value=1, max_value=16),
+    stream=consistent_streams(max_vertices=8, max_updates=40),
+)
+@FAST_SETTINGS
+def test_sharded_counters_match_serial_at_every_batch_boundary(
+    name, backend, workers, window, stream
+):
+    # The serial reference always runs the CSR kernels, so a dense/auto
+    # sharded run also re-pins cross-backend equality along the way.
+    serial = counter_spec(name).create(backend="csr", workers=1)
+    serial.batch_fast_path_threshold = 1
+    sharded = _sharded_counter(name, workers, backend=backend)
+    assert _replay_in_batches(sharded, stream, window) == _replay_in_batches(
+        serial, stream, window
+    )
+
+
+@given(
+    workers=st.sampled_from([2, 4]),
+    stream=consistent_streams(max_vertices=8, max_updates=40),
+)
+@FAST_SETTINGS
+def test_sharded_wedge_matrix_is_bit_identical(workers, stream):
+    serial = counter_spec("wedge").create(backend="csr", workers=1)
+    serial.batch_fast_path_threshold = 1
+    sharded = _sharded_counter("wedge", workers)
+    serial.apply_batch(list(stream))
+    sharded.apply_batch(list(stream))
+    assert sharded.count == serial.count
+    reference = serial.wedge_matrix
+    actual = sharded.wedge_matrix
+    assert set(actual.row_labels()) == set(reference.row_labels())
+    for label in reference.row_labels():
+        assert dict(actual.row(label)) == dict(reference.row(label))
+
+
+@given(stream=consistent_streams(max_vertices=8, max_updates=40))
+@FAST_SETTINGS
+def test_thread_policy_matches_serial_policy(stream):
+    # One pooled policy exercised end-to-end through a counter; process pools
+    # are covered at the matmul layer (tests/matmul/test_sharding.py) where
+    # each case pays the fork cost once instead of per hypothesis example.
+    updates = list(stream)
+    inline = _sharded_counter("hhh22", workers=2, policy="serial")
+    pooled = _sharded_counter("hhh22", workers=2, policy="thread")
+    inline.apply_batch(updates)
+    pooled.apply_batch(updates)
+    assert pooled.count == inline.count
+    pooled.shard_executor.close()
