@@ -12,6 +12,9 @@ Installed as ``repro-4cycles``.  Subcommands:
   ``--batch-size N`` the replay goes through the batched update pipeline
   (``apply_batch`` windows of ``N`` updates) instead of update-at-a-time.
 * ``omega-sweep`` — print the update-time exponent as a function of omega (E8).
+* ``lint`` — run repro-lint, the repository's AST-based invariant analyzer
+  (exactness, layering, hot-path, shard-safety, exception-hygiene rules; see
+  :mod:`repro.lint`).  Exit 0 means no non-baselined findings.
 * ``batch-throughput`` — measure updates/sec of the batch pipeline as a
   function of batch size for the selected counters (experiment E10).
 * ``bench`` — run the performance experiments (E10 batch throughput, E11
@@ -38,6 +41,7 @@ from typing import List, Optional, Sequence
 
 from repro.api import GeneratorSource, available_counter_names, available_specs
 from repro.instrumentation.harness import compare_counters, format_table, summary_table
+from repro.lint.cli import add_lint_arguments, run_lint
 from repro.theory.exponents import comparison_table, omega_sweep
 from repro.theory.parameters import published_parameters, verify_published_parameters
 
@@ -290,6 +294,10 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    return run_lint(args)
+
+
 def _command_omega_sweep(args: argparse.Namespace) -> int:
     omegas = [2.0 + args.step * index for index in range(int((3.0 - 2.0) / args.step) + 1)]
     print(f"{'omega':>8}  {'eps':>10}  {'delta':>10}  {'exponent':>10}  improves")
@@ -327,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="feed the stream through apply_batch in windows of this size (default: 1)",
     )
     compare.set_defaults(handler=_command_compare)
+
+    lint = subparsers.add_parser(
+        "lint", help="run repro-lint, the repository invariant analyzer"
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=_command_lint)
 
     sweep = subparsers.add_parser("omega-sweep", help="update-time exponent as a function of omega")
     sweep.add_argument("--step", type=float, default=0.05)

@@ -45,7 +45,7 @@ from repro.graph.updates import (
     _canonical_first,
     normalize_batch,
 )
-from repro.matmul.engine import CsrMatrix, expand_csr_rows
+from repro.kernels import CsrMatrix, expand_csr_rows
 
 Vertex = Hashable
 

@@ -13,7 +13,7 @@ from typing import Dict, Hashable, Iterable, Tuple
 import numpy as np
 
 from repro.graph.dynamic_graph import DynamicGraph
-from repro.matmul.engine import exact_integer_matmul
+from repro.kernels import exact_integer_matmul
 
 Vertex = Hashable
 

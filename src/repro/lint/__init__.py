@@ -1,0 +1,81 @@
+"""repro-lint: an AST-based invariant analyzer for this repository.
+
+Five rules, each guarding one contract the codebase depends on:
+
+========  ================  =====================================================
+code      pragma slug       invariant
+========  ================  =====================================================
+REP101    ``exact-ok``      float casts on count/index arrays need a 2^53 guard
+REP102    ``layering-ok``   the package DAG admits no upward imports
+REP103    ``hot-ok``        registered hot paths build/iterate no label dicts
+REP104    ``shard-ok``      shard-pool tasks are module-level (picklable)
+REP105    ``broad-except-ok``  no silent blanket ``except Exception``
+========  ================  =====================================================
+
+Suppress a finding in place with ``# repro-lint: <slug> <reason>`` on the
+offending line or a comment line directly above it; the reason is mandatory
+(REP100 flags pragmas without one).  Pre-existing debt lives in the committed
+baseline (``src/repro/lint/baseline.json``) — see :mod:`repro.lint.baseline`.
+
+Programmatic use (what the tests do)::
+
+    from repro.lint import DEFAULT_RULES, lint_paths
+    result = lint_paths(["src"], DEFAULT_RULES)
+    assert not result.findings
+"""
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE,
+    Baseline,
+    BaselineSplit,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.engine import (
+    Finding,
+    LintResult,
+    ModuleContext,
+    Pragma,
+    Rule,
+    lint_paths,
+    load_module,
+    run_rules,
+)
+from repro.lint.hotpaths import HOT_FUNCTION_NAMES, HOT_PATHS
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import (
+    DEFAULT_RULES,
+    LAYERS,
+    BroadExceptRule,
+    ExactnessRule,
+    HotPathRule,
+    LayeringRule,
+    ShardSafetyRule,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineSplit",
+    "BroadExceptRule",
+    "DEFAULT_BASELINE",
+    "DEFAULT_RULES",
+    "ExactnessRule",
+    "Finding",
+    "HOT_FUNCTION_NAMES",
+    "HOT_PATHS",
+    "HotPathRule",
+    "LAYERS",
+    "LayeringRule",
+    "LintResult",
+    "ModuleContext",
+    "Pragma",
+    "Rule",
+    "ShardSafetyRule",
+    "lint_paths",
+    "load_baseline",
+    "load_module",
+    "render_json",
+    "render_text",
+    "run_rules",
+    "save_baseline",
+]

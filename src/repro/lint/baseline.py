@@ -1,0 +1,99 @@
+"""The committed findings baseline: grandfather old debt, reject new debt.
+
+A baseline file maps finding *fingerprints* (line-number independent, see
+:mod:`repro.lint.engine`) to a short record of what was accepted.  The lint
+gate then fails only on findings whose fingerprint is not baselined —
+pre-existing debt (today: the REP103 label-dict bookkeeping in the hot
+counters) stays visible and counted without blocking CI, while any *new*
+violation fails immediately.
+
+The file is committed at ``src/repro/lint/baseline.json`` and is meant to
+shrink: ``--check-baseline`` fails when the file lists fingerprints the tree
+no longer produces, so fixing a baselined finding forces the baseline entry
+to be deleted in the same PR (via ``--update-baseline``), keeping the debt
+ledger honest in both directions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Finding
+
+#: Default location of the committed baseline, relative to the repo root.
+DEFAULT_BASELINE = Path("src/repro/lint/baseline.json")
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def split(self, findings: Sequence[Finding]) -> "BaselineSplit":
+        """Partition ``findings`` into new vs baselined, and find stale entries."""
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        seen = set()
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                matched.append(finding)
+                seen.add(finding.fingerprint)
+            else:
+                new.append(finding)
+        stale = sorted(fp for fp in self.entries if fp not in seen)
+        return BaselineSplit(new=new, baselined=matched, stale=stale)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        entries: Dict[str, Dict[str, object]] = {}
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+            entries[finding.fingerprint] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "scope": finding.scope,
+                "snippet": finding.snippet,
+            }
+        return cls(entries=entries)
+
+
+@dataclass
+class BaselineSplit:
+    """Result of checking a lint run against a baseline."""
+
+    new: List[Finding]
+    baselined: List[Finding]
+    stale: List[str]   # fingerprints in the baseline the tree no longer produces
+
+
+def load_baseline(path: Path) -> Baseline:
+    if not path.exists():
+        return Baseline()
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"{path}: not a repro-lint baseline file")
+    return Baseline(entries=dict(payload["entries"]))
+
+
+def save_baseline(baseline: Baseline, path: Path) -> None:
+    payload = {
+        "version": _FORMAT_VERSION,
+        "tool": "repro-lint",
+        "entries": {fp: baseline.entries[fp] for fp in sorted(baseline.entries)},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -1,0 +1,134 @@
+"""The ``repro-4cycles lint`` subcommand.
+
+Exit codes:
+
+* ``0`` — no new findings, baseline in sync (when checked), no parse errors;
+* ``1`` — new (non-baselined) findings, or ``--check-baseline`` found the
+  baseline out of sync with the tree;
+* ``2`` — operational failure (unreadable baseline, parse errors in linted
+  files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE,
+    Baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.engine import lint_paths
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import DEFAULT_RULES
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the lint options on ``parser`` (shared with the main CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to exactly the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="also fail (exit 1) when the baseline holds stale entries",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="include baselined findings in the text report",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file as well as stdout",
+    )
+
+
+def run_lint(arguments: argparse.Namespace) -> int:
+    baseline_path = Path(arguments.baseline)
+    if arguments.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError) as error:
+            print(f"repro-lint: cannot read baseline: {error}", file=sys.stderr)
+            return 2
+
+    result = lint_paths([Path(p) for p in arguments.paths], DEFAULT_RULES)
+
+    if arguments.update_baseline:
+        save_baseline(Baseline.from_findings(result.findings), baseline_path)
+        print(
+            f"repro-lint: baseline rewritten with {len(result.findings)} "
+            f"finding(s) at {baseline_path}"
+        )
+        return 0 if not result.errors else 2
+
+    split = baseline.split(result.findings)
+
+    if arguments.format == "json":
+        report = render_json(
+            result,
+            split,
+            baseline_path=None if arguments.no_baseline else str(baseline_path),
+        )
+    else:
+        report = render_text(result, split, show_baselined=arguments.show_baselined)
+    print(report)
+    if arguments.output:
+        output_path = Path(arguments.output)
+        output_path.parent.mkdir(parents=True, exist_ok=True)
+        output_path.write_text(report + "\n", encoding="utf-8")
+
+    if result.errors:
+        return 2
+    if split.new:
+        return 1
+    if arguments.check_baseline and split.stale:
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="static analyzer for this repository's exactness, "
+        "layering, hot-path, and shard-safety invariants",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,406 @@
+"""The repro-lint rule engine: AST walking, pragmas, fingerprints, baselines.
+
+repro-lint is a purpose-built static analyzer for this repository's
+*invariants* — the contracts the code states in comments but CI could not
+previously enforce: integer exactness under the ``2^53`` float64 bound, the
+package layering DAG, the hot-path label-dict ban, shard-pool pickling
+safety, and exception hygiene.  The concrete rules live in
+:mod:`repro.lint.rules`; this module owns everything rule-independent:
+
+* :class:`ModuleContext` — one parsed source file with parent links, scope
+  qualnames, and parsed pragmas;
+* pragma suppression — ``# repro-lint: <slug> <reason>`` on the offending
+  line, or on a comment line above it (the pragma then applies to the next
+  non-comment line, so multi-line justification blocks work);
+* :class:`Finding` with a *fingerprint* that is stable under unrelated edits
+  (no line numbers: path + rule + enclosing scope + normalized source line +
+  ordinal among identical findings);
+* the committed baseline (:mod:`repro.lint.baseline`) that grandfathers
+  pre-existing findings without letting new ones in.
+
+The engine never imports the code it analyzes — everything is ``ast`` over
+source text, so linting cannot execute side effects or require optional
+dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Pragma syntax: ``# repro-lint: <slug> <reason>``.  The slug names the rule
+#: being suppressed (its mnemonic like ``exact-ok``, or its code like
+#: ``REP101``); the free-text reason is mandatory — a suppression without a
+#: recorded justification is itself a finding (REP100).
+PRAGMA_PATTERN = re.compile(r"#\s*repro-lint:\s*(?P<slug>[A-Za-z0-9_-]+)(?:\s+(?P<reason>\S.*))?")
+
+#: Code used for engine-level findings about the pragmas themselves
+#: (unknown slug, missing reason).  Not suppressible.
+PRAGMA_RULE_CODE = "REP100"
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# repro-lint:`` comment."""
+
+    line: int          # line the comment sits on (1-based)
+    anchor: int        # line the suppression applies to
+    slug: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    scope: str
+    snippet: str
+    fingerprint: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "scope": self.scope,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class for repro-lint rules.
+
+    Subclasses set ``code`` (``REP1xx``), ``slug`` (the pragma mnemonic),
+    and ``description``, and implement :meth:`check` yielding
+    ``(node_or_line, message)`` pairs; the engine attaches locations, scopes,
+    pragma filtering, and fingerprints.
+    """
+
+    code: str = "REP000"
+    slug: str = "ok"
+    description: str = ""
+
+    def applies_to(self, module: "ModuleContext") -> bool:
+        """Whether this rule runs on ``module`` at all (path-based scoping)."""
+        return True
+
+    def check(self, module: "ModuleContext") -> Iterator[Tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+    def matches_slug(self, slug: str) -> bool:
+        lowered = slug.lower()
+        return lowered == self.slug.lower() or lowered == self.code.lower()
+
+
+class ModuleContext:
+    """One source file, parsed once and shared by every rule."""
+
+    def __init__(self, path: Path, display_path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        self.qualnames: Dict[ast.AST, str] = {}
+        self._link(tree, qualname="")
+        self.pragmas: List[Pragma] = list(self._parse_pragmas())
+
+    # -- construction -------------------------------------------------------
+
+    def _link(self, node: ast.AST, qualname: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.parents[child] = node
+            child_qualname = qualname
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                child_qualname = f"{qualname}.{child.name}" if qualname else child.name
+                self.qualnames[child] = child_qualname
+            self._link(child, child_qualname)
+
+    def _parse_pragmas(self) -> Iterator[Pragma]:
+        # Only real COMMENT tokens count — the pattern must not fire on pragma
+        # syntax *described* inside docstrings or string literals (this very
+        # engine's documentation would otherwise lint itself).
+        for number, text in self._comment_tokens():
+            match = PRAGMA_PATTERN.search(text)
+            if match is None:
+                continue
+            anchor = number
+            if self.lines[number - 1].lstrip().startswith("#"):
+                # Comment-only pragma line: it governs the next line that
+                # holds code, so a multi-line justification block between the
+                # pragma and the code it excuses still counts.
+                anchor = self._next_code_line(number)
+            yield Pragma(
+                line=number,
+                anchor=anchor,
+                slug=match.group("slug"),
+                reason=(match.group("reason") or "").strip(),
+            )
+
+    def _comment_tokens(self) -> Iterator[Tuple[int, str]]:
+        try:
+            for token in tokenize.generate_tokens(io.StringIO(self.source).readline):
+                if token.type == tokenize.COMMENT:
+                    yield token.start[0], token.string
+        except tokenize.TokenError:
+            # ast.parse already succeeded, so this is unreachable in practice;
+            # degrade to no pragmas rather than crash the whole run.
+            return
+
+    def _next_code_line(self, after: int) -> int:
+        for number in range(after + 1, len(self.lines) + 1):
+            stripped = self.lines[number - 1].strip()
+            if stripped and not stripped.startswith("#"):
+                return number
+        return after
+
+    # -- queries used by rules ----------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def scope_of(self, node: ast.AST) -> str:
+        """Dotted qualname of the innermost enclosing def/class, or ``<module>``."""
+        for ancestor in self.ancestors(node):
+            name = self.qualnames.get(ancestor)
+            if name is not None:
+                return name
+        return "<module>"
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return ancestor
+        return None
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def package(self) -> Optional[str]:
+        """The repro top-level package a file belongs to, inferred from its path.
+
+        ``.../repro/core/base.py`` -> ``core``; ``.../repro/cli.py`` ->
+        ``cli``; ``.../repro/__init__.py`` -> ``repro`` (the facade root).
+        Returns ``None`` for files outside any ``repro`` tree (e.g. test
+        fixtures) — path-scoped rules treat those as always in scope so the
+        fixture corpus can exercise every rule.
+        """
+        parts = self.path.parts
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro":
+                remainder = parts[index + 1:]
+                if not remainder or remainder == ("__init__.py",):
+                    return "repro"
+                first = remainder[0]
+                return first[:-3] if first.endswith(".py") else first
+        return None
+
+
+def load_module(path: Path, display_path: str) -> ModuleContext:
+    with tokenize.open(path) as handle:  # honors PEP 263 encoding declarations
+        source = handle.read()
+    tree = ast.parse(source, filename=str(path))
+    return ModuleContext(path=path, display_path=display_path, source=source, tree=tree)
+
+
+def _fingerprint(path: str, rule: str, scope: str, snippet: str, ordinal: int) -> str:
+    normalized = " ".join(snippet.split())
+    digest = hashlib.sha1(
+        f"{path}::{rule}::{scope}::{normalized}::{ordinal}".encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, before baseline filtering."""
+
+    findings: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def _display_path(path: Path, root: Path) -> str:
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def run_rules(
+    module: ModuleContext, rules: Sequence[Rule]
+) -> Tuple[List[Finding], List[Finding]]:
+    """All findings for one module: ``(active, suppressed)``.
+
+    Pragma bookkeeping happens here: a finding whose anchor line carries a
+    matching pragma *with a reason* moves to the suppressed list; a matching
+    pragma without a reason, or a pragma naming no known rule, produces an
+    engine finding (REP100) instead of a suppression.
+    """
+    raw: List[Tuple[Rule, int, int, str]] = []
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for node, message in rule.check(module):
+            line = getattr(node, "lineno", 0) or 0
+            column = (getattr(node, "col_offset", 0) or 0) + 1
+            raw.append((rule, line, column, message))
+
+    pragmas_by_anchor: Dict[int, List[Pragma]] = {}
+    for pragma in module.pragmas:
+        pragmas_by_anchor.setdefault(pragma.anchor, []).append(pragma)
+
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    ordinals: Dict[Tuple[str, str, str], int] = {}
+
+    # Engine findings about the pragmas themselves.
+    def known(slug: str) -> bool:
+        return any(rule.matches_slug(slug) for rule in rules)
+
+    for pragma in module.pragmas:
+        if not known(pragma.slug):
+            raw.append(
+                (
+                    _PragmaRule,
+                    pragma.line,
+                    1,
+                    f"unknown repro-lint pragma slug {pragma.slug!r}",
+                )
+            )
+        elif not pragma.reason:
+            raw.append(
+                (
+                    _PragmaRule,
+                    pragma.line,
+                    1,
+                    f"repro-lint pragma {pragma.slug!r} needs a reason "
+                    "(# repro-lint: <slug> <why this is safe>)",
+                )
+            )
+
+    for rule, line, column, message in sorted(raw, key=lambda item: (item[1], item[2])):
+        code = rule.code
+        # Scope lookup: find the innermost def/class whose span covers the line.
+        scope = _scope_at_line(module, line)
+        snippet = module.line_text(line).strip()
+        key = (code, scope, " ".join(snippet.split()))
+        ordinal = ordinals.get(key, 0)
+        ordinals[key] = ordinal + 1
+        finding = Finding(
+            rule=code,
+            path=module.display_path,
+            line=line,
+            column=column,
+            message=message,
+            scope=scope,
+            snippet=snippet,
+            fingerprint=_fingerprint(module.display_path, code, scope, snippet, ordinal),
+        )
+        suppression = None
+        if rule is not _PragmaRule:
+            for pragma in pragmas_by_anchor.get(line, ()):  # same line or block above
+                if rule.matches_slug(pragma.slug) and pragma.reason:
+                    suppression = pragma
+                    break
+        if suppression is not None:
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return active, suppressed
+
+
+def _scope_at_line(module: ModuleContext, line: int) -> str:
+    best = "<module>"
+    best_span = None
+    for node, qualname in module.qualnames.items():
+        start = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if start is None or end is None or not (start <= line <= end):
+            continue
+        span = end - start
+        if best_span is None or span < best_span:
+            best, best_span = qualname, span
+    return best
+
+
+class _PragmaRuleType(Rule):
+    code = PRAGMA_RULE_CODE
+    slug = "pragma"
+    description = "repro-lint pragma must name a known rule and carry a reason"
+
+    def check(self, module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        return iter(())
+
+
+_PragmaRule = _PragmaRuleType()
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    rules: Sequence[Rule],
+    root: Optional[Path] = None,
+) -> LintResult:
+    """Run ``rules`` over every python file under ``paths``.
+
+    ``root`` anchors the display paths (and therefore the baseline
+    fingerprints); it defaults to the current working directory, so runs from
+    the repository root produce repository-relative, baseline-stable paths.
+    Unparsable files are reported in ``errors``, not raised — a syntax error
+    in one file must not hide findings in the rest of the tree.
+    """
+    anchor = root if root is not None else Path.cwd()
+    result = LintResult()
+    for path in iter_python_files([Path(p) for p in paths]):
+        display = _display_path(path, anchor)
+        try:
+            module = load_module(path, display)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            result.errors.append(f"{display}: {error}")
+            continue
+        result.files_checked += 1
+        active, _ = run_rules(module, rules)
+        result.findings.extend(active)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return result

@@ -1,0 +1,45 @@
+"""The hot-path manifest consumed by rule REP103.
+
+The ROADMAP item "kill the label dictionary in the hot path" needs a
+mechanical definition of *hot path* to make measurable progress against.
+This manifest is that definition: the per-update entry points and batch
+kernels below are the functions whose per-call interpreter work dominates
+E10/E11 throughput, so creating or iterating label-keyed dicts inside them
+is flagged (REP103) and may only exist as a baselined, shrinking debt.
+
+Two mechanisms register a function as hot:
+
+* by *name* — any function named in :data:`HOT_FUNCTION_NAMES` is hot in
+  every file (all ``_batch_hook`` implementations, wherever a new counter
+  adds one);
+* by *manifest entry* — ``(path suffix, dotted qualname)`` pairs in
+  :data:`HOT_PATHS` pin specific per-update methods.
+
+Removing an entry here is only legitimate when the function no longer
+exists or no longer sits on the update path; making the rule pass by
+deleting its manifest is exactly the silent regression the rule exists to
+catch, so treat edits to this file as reviewable API changes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Function names that are hot wherever they appear.
+HOT_FUNCTION_NAMES: Tuple[str, ...] = ("_batch_hook",)
+
+#: ``(path suffix, qualname)`` pairs for the per-update hot paths.  The path
+#: suffix is matched against the end of the linted file's display path.
+HOT_PATHS: Tuple[Tuple[str, str], ...] = (
+    # The template method every counter's single-update path runs through.
+    ("repro/core/base.py", "DynamicFourCycleCounter.apply"),
+    # Per-update structure maintenance in each counter.
+    ("repro/core/base.py", "DynamicFourCycleCounter._apply_structure_delta"),
+    ("repro/core/wedge_counter.py", "WedgeCounter._apply_structure_delta"),
+    ("repro/core/wedge_counter.py", "WedgeCounter._three_paths"),
+    ("repro/core/wedge_counter.py", "WedgeCounter._apply_incremental_delta"),
+    ("repro/core/hhh22.py", "HHH22Counter._apply_structure_delta"),
+    ("repro/core/oracles.py", "OracleBackedCounter._apply_structure_delta"),
+    # The IVM view's tuple-update path (the db-scenario twin of apply()).
+    ("repro/db/ivm.py", "CyclicJoinCountView.apply"),
+)

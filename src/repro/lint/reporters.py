@@ -1,0 +1,66 @@
+"""Text and JSON reporters for repro-lint runs."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.baseline import BaselineSplit
+from repro.lint.engine import LintResult
+
+
+def render_text(
+    result: LintResult,
+    split: BaselineSplit,
+    show_baselined: bool = False,
+) -> str:
+    """Human-readable report: one line per finding, then a summary block."""
+    lines: List[str] = []
+    for finding in split.new:
+        lines.append(finding.render())
+    if show_baselined:
+        for finding in split.baselined:
+            lines.append(f"{finding.render()} [baselined]")
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    for fingerprint in split.stale:
+        lines.append(
+            f"stale baseline entry {fingerprint}: finding no longer produced "
+            "(run with --update-baseline to drop it)"
+        )
+    summary = (
+        f"repro-lint: {result.files_checked} files, "
+        f"{len(split.new)} new finding(s), "
+        f"{len(split.baselined)} baselined, "
+        f"{len(split.stale)} stale baseline entr(y/ies)"
+    )
+    if result.findings:
+        by_rule = result.by_rule()
+        breakdown = ", ".join(f"{rule}={by_rule[rule]}" for rule in sorted(by_rule))
+        summary += f" [{breakdown}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    result: LintResult,
+    split: BaselineSplit,
+    baseline_path: Optional[str] = None,
+) -> str:
+    """Machine-readable report consumed by the CI lint gate."""
+    payload: Dict[str, object] = {
+        "tool": "repro-lint",
+        "files_checked": result.files_checked,
+        "summary": {
+            "new": len(split.new),
+            "baselined": len(split.baselined),
+            "stale_baseline": len(split.stale),
+            "by_rule": result.by_rule(),
+        },
+        "baseline": baseline_path,
+        "findings": [finding.to_dict() for finding in split.new],
+        "baselined_findings": [finding.to_dict() for finding in split.baselined],
+        "stale_baseline_entries": list(split.stale),
+        "errors": list(result.errors),
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,536 @@
+"""The repro-lint ruleset: REP101-REP105.
+
+Each rule mechanizes one invariant this repository's correctness or
+performance story depends on.  The rules are syntactic by design — an AST
+pattern either matches or it does not — with an escape hatch
+(``# repro-lint: <slug> <reason>``, see :mod:`repro.lint.engine`) for the
+sites where the code is right for reasons the pattern cannot see.  The
+point is not to prove the invariant; it is to make *silently* breaking it
+impossible: every new float cast, upward import, hot-path dict, pool
+closure, or blanket except must either satisfy the recognizer or carry a
+written justification that a reviewer sees in the diff.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import ModuleContext, Rule
+from repro.lint.hotpaths import HOT_FUNCTION_NAMES, HOT_PATHS
+
+# ---------------------------------------------------------------------------
+# REP101 — exactness
+# ---------------------------------------------------------------------------
+
+#: Names that identify an exactness bound in a guard expression.
+_BOUND_NAME = re.compile(r"EXACT_BOUND", re.IGNORECASE)
+
+#: Packages whose count/index arrays carry the exactness contract.
+EXACTNESS_PACKAGES = frozenset({"core", "graph", "matmul", "kernels"})
+
+
+def _is_exact_bound_expr(node: ast.AST) -> bool:
+    """Whether an expression subtree references the ``2^53`` bound."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and _BOUND_NAME.search(child.id):
+            return True
+        if isinstance(child, ast.Attribute) and _BOUND_NAME.search(child.attr):
+            return True
+        # A literal ``2 ** 53`` spelled inline.
+        if (
+            isinstance(child, ast.BinOp)
+            and isinstance(child.op, ast.Pow)
+            and isinstance(child.left, ast.Constant)
+            and child.left.value == 2
+            and isinstance(child.right, ast.Constant)
+            and child.right.value == 53
+        ):
+            return True
+    return False
+
+
+def _is_float_dtype(node: ast.AST) -> bool:
+    """Whether an expression names a float dtype (``float``/``np.float64``/"float64")."""
+    if isinstance(node, ast.Name):
+        return node.id == "float"
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("float64", "float32", "float16", "float_")
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, str) and node.value.startswith("float")
+    return False
+
+
+class ExactnessRule(Rule):
+    """REP101: float casts on array data must sit under a ``2^53`` guard.
+
+    The counters' correctness claims are *exact integer* claims; the only
+    float64 round-trips allowed in the kernel packages are the provably
+    exact ones (every possible intermediate below ``2^53``).  Flags, inside
+    ``repro/{core,graph,matmul,kernels}``:
+
+    * ``.astype(<float dtype>)`` calls,
+    * ``dtype=<float dtype>`` keyword arguments,
+    * ``np.float64(...)`` style constructor calls,
+    * ``np.bincount(..., weights=...)`` (accumulates its weights in float64).
+
+    A site is clean when an enclosing ``if``/``while``/ternary test
+    references an ``*_EXACT_BOUND`` name, a literal ``2 ** 53``, or a *guard
+    variable* — any local assigned from an expression that compares against
+    such a bound (so ``dense_merge_possible = ... < _BINCOUNT_EXACT_BOUND``
+    followed by ``if dense_merge_possible:`` is recognized).  Everything
+    else needs ``# repro-lint: exact-ok <reason>``.
+
+    Scalar ``float(...)`` threshold arithmetic (phase lengths, cost models)
+    is deliberately out of scope: it never flows back into count arrays.
+    """
+
+    code = "REP101"
+    slug = "exact-ok"
+    description = "float casts on count/index arrays need a 2^53 guard or exact-ok pragma"
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        package = module.package()
+        return package is None or package in EXACTNESS_PACKAGES
+
+    def check(self, module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        guard_variables = self._guard_variables(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            reason = self._float_use(node)
+            if reason is None:
+                continue
+            if self._guarded(module, node, guard_variables):
+                continue
+            yield node, (
+                f"{reason} without a recognized 2**53 exactness guard; "
+                "prove the bound in an enclosing test or annotate with "
+                "'# repro-lint: exact-ok <reason>'"
+            )
+
+    @staticmethod
+    def _float_use(node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            if any(_is_float_dtype(argument) for argument in node.args) or any(
+                keyword.arg == "dtype" and _is_float_dtype(keyword.value)
+                for keyword in node.keywords
+            ):
+                return "float-dtype astype() cast"
+        if isinstance(func, ast.Attribute) and func.attr in ("float64", "float32"):
+            return f"np.{func.attr}() cast"
+        if isinstance(func, ast.Attribute) and func.attr == "bincount":
+            for keyword in node.keywords:
+                if keyword.arg == "weights" and not (
+                    isinstance(keyword.value, ast.Constant) and keyword.value.value is None
+                ):
+                    return "np.bincount(weights=...) float64 accumulation"
+        for keyword in node.keywords:
+            if keyword.arg == "dtype" and _is_float_dtype(keyword.value):
+                return "dtype=float array construction"
+        return None
+
+    @staticmethod
+    def _guard_variables(module: ModuleContext) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and _is_exact_bound_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_exact_bound_expr(node.value) and isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+        return names
+
+    def _guarded(self, module: ModuleContext, node: ast.AST, guards: Set[str]) -> bool:
+        def test_mentions_guard(test: ast.AST) -> bool:
+            if _is_exact_bound_expr(test):
+                return True
+            return any(
+                isinstance(child, ast.Name) and child.id in guards
+                for child in ast.walk(test)
+            )
+
+        previous = node
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, (ast.If, ast.While)) and previous in ancestor.body:
+                if test_mentions_guard(ancestor.test):
+                    return True
+            if isinstance(ancestor, ast.IfExp) and previous is ancestor.body:
+                if test_mentions_guard(ancestor.test):
+                    return True
+            previous = ancestor
+        return False
+
+
+# ---------------------------------------------------------------------------
+# REP102 — layering
+# ---------------------------------------------------------------------------
+
+#: The package DAG, bottom (0) to top.  A module may import packages at its
+#: own rank or below; importing a strictly higher rank is an upward import.
+#: ``repro`` is the facade root (re-exports everything) and ranks above all.
+LAYERS: Dict[str, int] = {
+    "exceptions": 0,
+    "kernels": 0,
+    "theory": 0,
+    "graph": 0,
+    "instrumentation": 0,
+    "lint": 0,
+    "io": 1,
+    "matmul": 1,
+    "core": 2,
+    "db": 3,
+    "workloads": 3,
+    "api": 4,
+    "analysis": 5,
+    "cli": 6,
+    "repro": 7,
+}
+
+
+class LayeringRule(Rule):
+    """REP102: enforce the module DAG; upward imports are errors.
+
+    The DAG (see README for the diagram)::
+
+        exceptions/kernels/theory/graph/instrumentation/lint
+            -> io/matmul -> core -> db/workloads -> api -> analysis -> cli
+
+    Checked at *module load* scope: top-level imports plus imports at class
+    scope (both run at import time).  Imports inside ``if TYPE_CHECKING:``
+    blocks are ignored (annotations only), as are imports inside function
+    bodies — a deliberate late import is the repository's sanctioned
+    cycle-breaking idiom and does not affect the import-time DAG; the
+    harness's lazy facade imports rely on this.
+
+    A repro package missing from the layer table is itself an error: new
+    top-level packages must be placed in the DAG before they ship.
+    """
+
+    code = "REP102"
+    slug = "layering-ok"
+    description = "upward import against the package layering DAG"
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.package() is not None
+
+    def check(self, module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        package = module.package()
+        rank = LAYERS.get(package)
+        if rank is None:
+            yield module.tree, (
+                f"package {package!r} is not in the repro-lint layer table; "
+                "add it to repro.lint.rules.LAYERS at its DAG position"
+            )
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if self._runtime_module_scope(module, node) is False:
+                continue
+            for target in self._repro_targets(node):
+                target_rank = LAYERS.get(target)
+                if target_rank is None:
+                    yield node, (
+                        f"imported package {target!r} is not in the repro-lint "
+                        "layer table; add it to repro.lint.rules.LAYERS"
+                    )
+                elif target_rank > rank:
+                    yield node, (
+                        f"upward import: {package!r} (layer {rank}) must not "
+                        f"import {target!r} (layer {target_rank}); move the "
+                        "shared code down or re-export from the upper layer"
+                    )
+
+    @staticmethod
+    def _repro_targets(node: ast.Import | ast.ImportFrom) -> Iterator[str]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == "repro":
+                    yield parts[1] if len(parts) > 1 else "repro"
+        else:
+            if node.level:  # relative import: stays inside the same package
+                return
+            if node.module is None:
+                return
+            parts = node.module.split(".")
+            if parts[0] != "repro":
+                return
+            if len(parts) > 1:
+                yield parts[1]
+            else:
+                # ``from repro import X`` pulls the facade root.
+                yield "repro"
+
+    def _runtime_module_scope(self, module: ModuleContext, node: ast.AST) -> bool:
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return False
+            if isinstance(ancestor, ast.If) and self._is_type_checking_test(ancestor.test):
+                return False
+        return True
+
+    @staticmethod
+    def _is_type_checking_test(test: ast.AST) -> bool:
+        if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+            return True
+        if isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING":
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# REP103 — hot-path label-dict ban
+# ---------------------------------------------------------------------------
+
+
+class HotPathRule(Rule):
+    """REP103: manifest-registered hot paths may not build or walk label dicts.
+
+    Mechanizes the ROADMAP "kill the label dictionary in the hot path" item:
+    inside a hot function (named in :data:`HOT_FUNCTION_NAMES` or listed in
+    :data:`HOT_PATHS`), flags
+
+    * non-empty dict literals and dict comprehensions,
+    * ``dict(...)`` / ``defaultdict(...)`` construction,
+    * ``.items()`` / ``.keys()`` / ``.values()`` iteration.
+
+    Pre-existing label-dict bookkeeping is carried in the committed baseline
+    — the file *is* the measurable debt — so the rule's job is to stop new
+    dict work from creeping into the per-update path while the int-indexing
+    refactor burns the baseline down.  Sites that are provably not
+    label-keyed (e.g. a metrics dict built once per batch) can be excused
+    with ``# repro-lint: hot-ok <reason>``.
+    """
+
+    code = "REP103"
+    slug = "hot-ok"
+    description = "label-dict creation or iteration inside a registered hot path"
+
+    _ITERATION_ATTRS = ("items", "keys", "values")
+
+    def check(self, module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        hot_functions = self._hot_functions(module)
+        if not hot_functions:
+            return
+        for function in hot_functions:
+            qualname = module.qualnames.get(function, function.name)
+            for node in ast.walk(function):
+                message = self._violation(node)
+                if message is not None:
+                    yield node, f"{message} in hot path {qualname!r}"
+
+    def _hot_functions(self, module: ModuleContext) -> List[ast.FunctionDef]:
+        path = module.display_path
+        manifest: Set[str] = {
+            qualname for suffix, qualname in HOT_PATHS if path.endswith(suffix)
+        }
+        functions: List[ast.FunctionDef] = []
+        for node, qualname in module.qualnames.items():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name in HOT_FUNCTION_NAMES or qualname in manifest:
+                functions.append(node)
+        return functions
+
+    def _violation(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Dict) and node.keys:
+            return "dict literal"
+        if isinstance(node, ast.DictComp):
+            return "dict comprehension"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("dict", "defaultdict", "Counter"):
+                return f"{func.id}() construction"
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._ITERATION_ATTRS
+                and not node.args
+                and not node.keywords
+            ):
+                return f".{func.attr}() dict iteration"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# REP104 — shard safety
+# ---------------------------------------------------------------------------
+
+_POOL_RECEIVER = re.compile(r"pool|executor", re.IGNORECASE)
+
+
+class ShardSafetyRule(Rule):
+    """REP104: callables handed to shard pools must be module-level functions.
+
+    A :class:`~repro.matmul.sharding.ShardExecutor` process pool pickles the
+    submitted callable by qualified name; lambdas, nested functions, and
+    bound methods either fail to pickle or silently drag engine state across
+    the process boundary.  Flags the callable argument of ``<pool>.submit``
+    / ``<pool>.map`` calls (receiver name matching ``pool``/``executor``)
+    when it is
+
+    * a ``lambda``,
+    * a function defined inside the enclosing function (a closure), or
+    * a ``self.<method>`` / attribute reference (bound method capturing the
+      instance).
+
+    Names imported or defined at module level pass; a callable that is safe
+    for a reason the pattern cannot see takes ``# repro-lint: shard-ok``.
+    """
+
+    code = "REP104"
+    slug = "shard-ok"
+    description = "non-module-level callable submitted to a shard pool"
+
+    def check(self, module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        module_level = self._module_level_names(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in ("submit", "map")):
+                continue
+            if not self._pool_receiver(func.value):
+                continue
+            if not node.args:
+                continue
+            callable_arg = node.args[0]
+            problem = self._unsafe(module, node, callable_arg, module_level)
+            if problem is not None:
+                yield callable_arg, (
+                    f"{problem} submitted to a shard pool via .{func.attr}(); "
+                    "process pools pickle tasks by qualified name — use a "
+                    "module-level function taking explicit arguments"
+                )
+
+    @staticmethod
+    def _pool_receiver(value: ast.AST) -> bool:
+        if isinstance(value, ast.Name):
+            return bool(_POOL_RECEIVER.search(value.id))
+        if isinstance(value, ast.Attribute):
+            return bool(_POOL_RECEIVER.search(value.attr))
+        if isinstance(value, ast.Call):
+            # e.g. ``self._pool(kind).map(...)``
+            func = value.func
+            if isinstance(func, ast.Attribute):
+                return bool(_POOL_RECEIVER.search(func.attr))
+            if isinstance(func, ast.Name):
+                return bool(_POOL_RECEIVER.search(func.id))
+        return False
+
+    @staticmethod
+    def _module_level_names(module: ModuleContext) -> Set[str]:
+        names: Set[str] = set()
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _unsafe(
+        self,
+        module: ModuleContext,
+        call: ast.Call,
+        argument: ast.AST,
+        module_level: Set[str],
+    ) -> Optional[str]:
+        if isinstance(argument, ast.Lambda):
+            return "lambda"
+        if isinstance(argument, ast.Attribute):
+            return "bound-method / attribute callable"
+        if isinstance(argument, ast.Name):
+            if argument.id in module_level:
+                return None
+            # Defined inside the enclosing function -> a closure.
+            enclosing = module.enclosing_function(call)
+            if enclosing is not None:
+                for node in ast.walk(enclosing):
+                    if (
+                        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and node is not enclosing
+                        and node.name == argument.id
+                    ):
+                        return "closure (function defined in enclosing scope)"
+            return None
+        return None
+
+
+# ---------------------------------------------------------------------------
+# REP105 — exception hygiene
+# ---------------------------------------------------------------------------
+
+_BROAD_EXCEPTION_NAMES = ("Exception", "BaseException")
+
+
+class BroadExceptRule(Rule):
+    """REP105: no blanket ``except Exception`` that swallows silently.
+
+    A broad handler is allowed only when it re-raises (any ``raise`` in its
+    body) — the narrowing-for-context idiom — or carries
+    ``# repro-lint: broad-except-ok <reason>`` explaining why every failure
+    mode really is safe to swallow (the canonical consumer is
+    ``ShardExecutor.__del__``, where interpreter teardown can raise
+    anything).  Bare ``except:`` and ``except BaseException`` are flagged the
+    same way.
+    """
+
+    code = "REP105"
+    slug = "broad-except-ok"
+    description = "broad except without re-raise or pragma"
+
+    def check(self, module: ModuleContext) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = self._broad_label(node.type)
+            if label is None:
+                continue
+            if any(isinstance(child, ast.Raise) for child in ast.walk(node)):
+                continue
+            yield node, (
+                f"{label} swallows every failure; catch the concrete "
+                "exception types, re-raise, or annotate with "
+                "'# repro-lint: broad-except-ok <reason>'"
+            )
+
+    @staticmethod
+    def _broad_label(annotation: Optional[ast.AST]) -> Optional[str]:
+        if annotation is None:
+            return "bare except:"
+
+        def is_broad(expr: ast.AST) -> bool:
+            if isinstance(expr, ast.Name):
+                return expr.id in _BROAD_EXCEPTION_NAMES
+            if isinstance(expr, ast.Attribute):
+                return expr.attr in _BROAD_EXCEPTION_NAMES
+            return False
+
+        if is_broad(annotation):
+            return f"except {getattr(annotation, 'id', getattr(annotation, 'attr', '?'))}"
+        if isinstance(annotation, ast.Tuple) and any(is_broad(e) for e in annotation.elts):
+            return "except tuple containing Exception"
+        return None
+
+
+#: The shipped ruleset, in code order.
+DEFAULT_RULES: Sequence[Rule] = (
+    ExactnessRule(),
+    LayeringRule(),
+    HotPathRule(),
+    ShardSafetyRule(),
+    BroadExceptRule(),
+)

@@ -365,6 +365,10 @@ class ShardExecutor:
     def __del__(self) -> None:  # defensive: don't leak worker processes
         try:
             self.close()
+        # repro-lint: broad-except-ok __del__ can run during interpreter
+        # teardown, where pool shutdown raises arbitrary errors (RuntimeError
+        # from dead executors, TypeError/AttributeError from half-cleared
+        # module globals); a destructor must never propagate any of them.
         except Exception:
             pass
 

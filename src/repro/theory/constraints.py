@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.exceptions import ConstraintError
-from repro.matmul.omega import OmegaModel
+from repro.theory.omega import OmegaModel
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List
 
-from repro.matmul.omega import OMEGA_BEST, OMEGA_CURRENT, OMEGA_IMPROVEMENT_THRESHOLD
+from repro.theory.omega import OMEGA_BEST, OMEGA_CURRENT, OMEGA_IMPROVEMENT_THRESHOLD
 from repro.theory.parameters import MainParameters, solve_main_parameters
 
 #: Update-time exponent of the previous best algorithm [HHH22].

@@ -1,0 +1,234 @@
+"""Asymptotic models of (fast) square and rectangular matrix multiplication.
+
+The paper's improvement hinges on the matrix-multiplication exponent:
+
+* ``omega`` — multiplying two ``n x n`` matrices takes ``O(n^omega)``; the
+  current best bound is ``omega = 2.371339`` [ADW+25] and the best possible is
+  ``omega = 2``.
+* ``omega(a, b, c)`` — multiplying an ``n^a x n^b`` matrix by an
+  ``n^b x n^c`` matrix takes ``O(n^{omega(a, b, c)})`` (rectangular FMM).
+
+This module models those exponents without implementing galactic algorithms:
+the *running code* multiplies matrices with numpy/BLAS (see
+:mod:`repro.matmul.engine`), while the exponent models here are consumed by
+the theory constraint systems and by the benchmarks to report predicted
+asymptotic costs.  The exponent models live in the theory layer (below
+``matmul`` in the package DAG) because the constraint solvers are their main
+consumer; :mod:`repro.matmul.omega` re-exports them alongside its concrete,
+constant-aware product cost model.
+
+Three rectangular models are provided, mirroring the substitution documented
+in DESIGN.md:
+
+* :class:`BlockPartitionRectangularModel` — the classic upper bound obtained by
+  tiling the rectangular product into square blocks of side ``n^{min(a,b,c)}``.
+* :class:`BestPossibleRectangularModel` — the information-theoretic lower
+  envelope ``max(a + b, b + c)`` the paper uses for the ``omega = 2`` results.
+* :class:`PublishedValuesRectangularModel` — anchors the two rectangular
+  exponent values reported in Appendix B (obtained by the authors with the
+  complexity-term balancer over the [ADW+25] tables), falling back to the block
+  bound elsewhere.  This is what lets E2/E3 verify the published warm-up
+  constants without re-deriving the [ADW+25] tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Protocol
+
+from repro.exceptions import ConfigurationError
+
+#: Current best upper bound on the square matrix multiplication exponent
+#: [ADW+25], the value used throughout the paper.
+OMEGA_CURRENT = 2.371339
+
+#: The best possible exponent (matrix multiplication cannot beat reading the
+#: input/output).
+OMEGA_BEST = 2.0
+
+#: The exponent of the schoolbook algorithm.
+OMEGA_NAIVE = 3.0
+
+#: Strassen's exponent, mentioned in the introduction as *not* sufficient for
+#: the paper's improvement.
+OMEGA_STRASSEN = math.log2(7)
+
+#: The paper's improvement requires ``omega < 2.5`` (Section 5.1).
+OMEGA_IMPROVEMENT_THRESHOLD = 2.5
+
+
+class RectangularModel(Protocol):
+    """Oracle for the rectangular exponent ``omega(a, b, c)``."""
+
+    def exponent(self, a: float, b: float, c: float) -> float:
+        """The exponent of multiplying ``n^a x n^b`` by ``n^b x n^c``."""
+        ...
+
+
+@dataclass(frozen=True)
+class BlockPartitionRectangularModel:
+    """Upper bound by tiling into square blocks of side ``n^{min(a, b, c)}``.
+
+    Partitioning yields ``n^{a-s} * n^{b-s} * n^{c-s}`` block products, each a
+    square product of side ``n^s`` costing ``n^{s * omega}``, so
+
+    ``omega(a, b, c) <= a + b + c + s * (omega - 3)`` with ``s = min(a, b, c)``.
+
+    The bound also never drops below the trivial input/output cost
+    ``max(a + b, b + c, a + c)``.
+    """
+
+    omega: float = OMEGA_CURRENT
+
+    def exponent(self, a: float, b: float, c: float) -> float:
+        _validate_exponents(a, b, c)
+        smallest = min(a, b, c)
+        block_bound = a + b + c + smallest * (self.omega - 3.0)
+        return max(block_bound, a + b, b + c, a + c)
+
+
+@dataclass(frozen=True)
+class BestPossibleRectangularModel:
+    """The best-possible exponent ``max(a + b, b + c)``.
+
+    The paper (Section 3.4) uses this for its ``omega = 2`` results: the
+    product then costs asymptotically no more than reading its inputs.
+    """
+
+    def exponent(self, a: float, b: float, c: float) -> float:
+        _validate_exponents(a, b, c)
+        return max(a + b, b + c)
+
+
+@dataclass
+class PublishedValuesRectangularModel:
+    """Anchors the rectangular exponent values published in Appendix B.
+
+    Appendix B reports, for the warm-up algorithm at the published parameter
+    values (``eps = 0.0098109``, ``eps1 = 0.04201965``, ``eps2 = 0.14568075``):
+
+    * ``omega(1/3 + eps1, 2/3 - eps1, 1/3 + eps1) <= 1.10495201``
+    * ``omega(2/3 + 2 eps, 1/3 - eps1 + eps2, 1/3 - eps1 + eps2) <= 1.24039952``
+
+    Those values come from the complexity-term balancer over the [ADW+25]
+    rectangular tables, which are not reproducible offline; we therefore treat
+    them as published anchor points (matched up to a tolerance on the
+    arguments) and fall back to :class:`BlockPartitionRectangularModel`
+    everywhere else.
+    """
+
+    omega: float = OMEGA_CURRENT
+    tolerance: float = 1e-6
+    anchors: Dict[tuple[float, float, float], float] = field(default_factory=dict)
+    _fallback: BlockPartitionRectangularModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._fallback = BlockPartitionRectangularModel(self.omega)
+        if not self.anchors:
+            eps = 0.0098109
+            eps1 = 0.04201965
+            eps2 = 0.14568075
+            self.anchors = {
+                (1.0 / 3.0 + eps1, 2.0 / 3.0 - eps1, 1.0 / 3.0 + eps1): 1.10495201,
+                (
+                    2.0 / 3.0 + 2.0 * eps,
+                    1.0 / 3.0 - eps1 + eps2,
+                    1.0 / 3.0 - eps1 + eps2,
+                ): 1.24039952,
+            }
+
+    def exponent(self, a: float, b: float, c: float) -> float:
+        _validate_exponents(a, b, c)
+        for (anchor_a, anchor_b, anchor_c), value in self.anchors.items():
+            if (
+                abs(a - anchor_a) <= self.tolerance
+                and abs(b - anchor_b) <= self.tolerance
+                and abs(c - anchor_c) <= self.tolerance
+            ):
+                return value
+        return self._fallback.exponent(a, b, c)
+
+
+@dataclass(frozen=True)
+class OmegaModel:
+    """Bundle of a square exponent and a rectangular oracle.
+
+    This is the object the theory module and the benchmarks consume; the
+    three canonical instances are exposed as :func:`current_omega_model`,
+    :func:`best_omega_model`, and :func:`naive_omega_model`.
+    """
+
+    omega: float
+    rectangular: RectangularModel
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.omega < 2.0 or self.omega > 3.0:
+            raise ConfigurationError(f"omega must lie in [2, 3], got {self.omega}")
+
+    def square_cost_exponent(self, dimension_exponent: float) -> float:
+        """Exponent of multiplying two square matrices of side ``m^d``.
+
+        Returns ``d * omega`` — the cost is ``m^{d * omega}``.
+        """
+        if dimension_exponent < 0:
+            raise ConfigurationError(
+                f"dimension exponent must be non-negative, got {dimension_exponent}"
+            )
+        return dimension_exponent * self.omega
+
+    def rectangular_cost_exponent(self, a: float, b: float, c: float) -> float:
+        """Exponent of multiplying an ``m^a x m^b`` matrix by an ``m^b x m^c``."""
+        return self.rectangular.exponent(a, b, c)
+
+    def allows_improvement(self) -> bool:
+        """Whether the paper's approach beats ``O(m^{2/3})`` with this omega.
+
+        The phase constraint (Eq. 9) only has a solution with ``eps > 0`` when
+        ``omega < 2.5``; any bound better than 3 (e.g. Strassen) is *not*
+        sufficient, which the paper highlights as surprising.
+        """
+        return self.omega < OMEGA_IMPROVEMENT_THRESHOLD
+
+    def predicted_square_cost(self, side: int) -> float:
+        """Predicted operation count for a concrete square product."""
+        if side <= 0:
+            return 0.0
+        return float(side) ** self.omega
+
+
+def current_omega_model() -> OmegaModel:
+    """The model with the current best exponent ``omega = 2.371339``."""
+    return OmegaModel(
+        omega=OMEGA_CURRENT,
+        rectangular=PublishedValuesRectangularModel(OMEGA_CURRENT),
+        name="current",
+    )
+
+
+def best_omega_model() -> OmegaModel:
+    """The model with the best possible exponent ``omega = 2``."""
+    return OmegaModel(omega=OMEGA_BEST, rectangular=BestPossibleRectangularModel(), name="best")
+
+
+def naive_omega_model() -> OmegaModel:
+    """The schoolbook model ``omega = 3`` (no improvement possible)."""
+    return OmegaModel(
+        omega=OMEGA_NAIVE, rectangular=BlockPartitionRectangularModel(OMEGA_NAIVE), name="naive"
+    )
+
+
+def model_for_omega(omega: float) -> OmegaModel:
+    """A model for an arbitrary square exponent with the block-partition
+    rectangular bound (used by the omega-ablation experiment E8)."""
+    return OmegaModel(
+        omega=omega, rectangular=BlockPartitionRectangularModel(omega), name=f"omega={omega:g}"
+    )
+
+
+def _validate_exponents(a: float, b: float, c: float) -> None:
+    if a < 0 or b < 0 or c < 0:
+        raise ConfigurationError(
+            f"rectangular exponents must be non-negative, got ({a}, {b}, {c})"
+        )

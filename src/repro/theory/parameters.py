@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.exceptions import ConstraintError
-from repro.matmul.omega import (
+from repro.theory.omega import (
     OMEGA_BEST,
     OMEGA_CURRENT,
     OMEGA_IMPROVEMENT_THRESHOLD,

@@ -1,0 +1,19 @@
+"""REP101 fixture: unguarded float casts on count arrays (all should fire)."""
+
+import numpy as np
+
+
+def unguarded_astype(counts):
+    return counts.astype(np.float64)          # finding: astype cast
+
+
+def unguarded_constructor(total):
+    return np.float64(total)                  # finding: np.float64() cast
+
+
+def unguarded_dtype_keyword(n):
+    return np.zeros(n, dtype=float)           # finding: dtype=float construction
+
+
+def unguarded_bincount(keys, values):
+    return np.bincount(keys, weights=values)  # finding: float64 accumulation

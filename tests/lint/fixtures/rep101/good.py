@@ -1,0 +1,34 @@
+"""REP101 fixture: every float cast is guarded or pragma-annotated (silent)."""
+
+import numpy as np
+
+_FLOAT64_EXACT_BOUND = float(2**53)
+
+
+def guarded_by_bound_name(left, right):
+    worst_case = float(left.max()) * float(right.max()) * left.shape[1]
+    if worst_case < _FLOAT64_EXACT_BOUND:
+        return left.astype(np.float64) @ right.astype(np.float64)
+    return left @ right
+
+
+def guarded_by_literal(counts):
+    if int(counts.max()) < 2**53:
+        return counts.astype(np.float64)
+    return counts
+
+
+def guarded_by_guard_variable(keys, values, cells):
+    merge_possible = int(np.abs(values).max(initial=0)) * len(values) < _FLOAT64_EXACT_BOUND
+    if merge_possible:
+        return np.bincount(keys, weights=values, minlength=cells)
+    return None
+
+
+def pragma_annotated(scores):
+    # repro-lint: exact-ok scores are already float measurements, not counts
+    return scores.astype(np.float64)
+
+
+def scalar_float_is_fine(m, eps):
+    return float(m) ** (2.0 / 3.0 - eps)

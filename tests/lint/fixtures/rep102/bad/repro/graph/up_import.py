@@ -1,0 +1,9 @@
+"""REP102 fixture: ``graph`` (layer 0) importing upward (should fire twice)."""
+
+from repro.core.base import DynamicFourCycleCounter  # finding: graph -> core
+
+import repro.api  # finding: graph -> api
+
+
+def use():
+    return DynamicFourCycleCounter, repro.api

@@ -1,0 +1,21 @@
+"""REP102 fixture: ``core`` (layer 2) importing downward and lazily (silent)."""
+
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ReproError          # core -> exceptions: downward
+from repro.graph.dynamic_graph import DynamicGraph  # core -> graph: downward
+from repro.matmul.engine import csr_spgemm          # core -> matmul: downward
+
+if TYPE_CHECKING:
+    from repro.api import EngineConfig           # annotation-only: ignored
+
+
+def lazy_facade():
+    # Function-local late import: the sanctioned cycle-breaking idiom.
+    from repro.api import available_counter_names
+
+    return available_counter_names()
+
+
+def use(config: "EngineConfig"):
+    return ReproError, DynamicGraph, csr_spgemm, config

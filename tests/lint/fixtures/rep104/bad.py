@@ -1,0 +1,16 @@
+"""REP104 fixture: unpicklable callables handed to pools (should fire 3x)."""
+
+
+class Engine:
+    def run(self, pool, shards):
+        futures = [pool.submit(lambda s: s * 2, shard) for shard in shards]  # finding
+
+        def local_task(shard):
+            return shard * 2
+
+        mapped = pool.map(local_task, shards)       # finding: closure
+        bound = pool.submit(self._task, shards[0])  # finding: bound method
+        return futures, mapped, bound
+
+    def _task(self, shard):
+        return shard

@@ -1,0 +1,18 @@
+"""REP104 fixture: module-level tasks and annotated exceptions (silent)."""
+
+
+def run_shard_task(shard):
+    return shard * 2
+
+
+class Engine:
+    def run(self, pool, shards):
+        futures = [pool.submit(run_shard_task, shard) for shard in shards]
+        mapped = pool.map(run_shard_task, shards)
+        # repro-lint: shard-ok this helper only ever runs on the thread policy
+        probe = pool.submit(lambda: 1)
+        return futures, mapped, probe
+
+    def not_a_pool(self, queue, shards):
+        # Receiver does not look like a pool/executor: out of scope.
+        return queue.map(lambda s: s, shards)

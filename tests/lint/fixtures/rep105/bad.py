@@ -1,0 +1,22 @@
+"""REP105 fixture: silently swallowing broad handlers (should fire 3x)."""
+
+
+def swallow_exception(task):
+    try:
+        return task()
+    except Exception:      # finding: broad except, no re-raise
+        return None
+
+
+def swallow_bare(task):
+    try:
+        return task()
+    except:                # noqa: E722  finding: bare except
+        return None
+
+
+def swallow_base(task):
+    try:
+        return task()
+    except BaseException:  # finding: even broader
+        return None

@@ -1,0 +1,23 @@
+"""REP105 fixture: narrow, re-raising, or justified handlers (silent)."""
+
+
+def narrow(task):
+    try:
+        return task()
+    except (ValueError, KeyError):
+        return None
+
+
+def reraise_with_context(task):
+    try:
+        return task()
+    except Exception as error:
+        raise RuntimeError("task failed") from error
+
+
+def justified(task):
+    try:
+        return task()
+    # repro-lint: broad-except-ok destructor-style cleanup must never propagate
+    except Exception:
+        return None

@@ -1,0 +1,226 @@
+"""Engine-level tests: fingerprints, baseline round-trips, CLI, shipped tree."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_BASELINE,
+    DEFAULT_RULES,
+    Baseline,
+    lint_paths,
+    load_baseline,
+    render_json,
+    render_text,
+    save_baseline,
+)
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_SOURCE = (
+    "def f(task):\n"
+    "    try:\n"
+    "        return task()\n"
+    "    except Exception:\n"
+    "        return None\n"
+)
+
+
+def write_module(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+class TestFingerprints:
+    def test_stable_under_unrelated_line_shifts(self, tmp_path):
+        module = write_module(tmp_path, "shift.py", BAD_SOURCE)
+        before = lint_paths([module], DEFAULT_RULES, root=tmp_path).findings
+        module.write_text("import os\n\n\n" + BAD_SOURCE)
+        after = lint_paths([module], DEFAULT_RULES, root=tmp_path).findings
+        assert before[0].line != after[0].line
+        assert before[0].fingerprint == after[0].fingerprint
+
+    def test_distinct_for_identical_findings(self, tmp_path):
+        # Two textually identical violations in one scope disambiguate by
+        # ordinal, so baselining one does not hide the other.
+        module = write_module(
+            tmp_path,
+            "twins.py",
+            "def f(a, b):\n"
+            "    try:\n"
+            "        return a()\n"
+            "    except Exception:\n"
+            "        pass\n"
+            "    try:\n"
+            "        return b()\n"
+            "    except Exception:\n"
+            "        pass\n",
+        )
+        findings = lint_paths([module], DEFAULT_RULES, root=tmp_path).findings
+        assert len(findings) == 2
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+    def test_depends_on_path_and_rule(self, tmp_path):
+        first = write_module(tmp_path, "one.py", BAD_SOURCE)
+        second = write_module(tmp_path, "two.py", BAD_SOURCE)
+        findings = lint_paths([first, second], DEFAULT_RULES, root=tmp_path).findings
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        module = write_module(tmp_path, "debt.py", BAD_SOURCE)
+        findings = lint_paths([module], DEFAULT_RULES, root=tmp_path).findings
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(Baseline.from_findings(findings), baseline_path)
+        loaded = load_baseline(baseline_path)
+        assert len(loaded) == 1
+        split = loaded.split(findings)
+        assert split.new == [] and len(split.baselined) == 1 and split.stale == []
+
+    def test_new_findings_are_not_masked(self, tmp_path):
+        module = write_module(tmp_path, "debt.py", BAD_SOURCE)
+        findings = lint_paths([module], DEFAULT_RULES, root=tmp_path).findings
+        baseline = Baseline.from_findings(findings)
+        module.write_text(BAD_SOURCE + "\n\ndef g(t):\n    return t.astype(float)\n")
+        # The file is outside a repro tree so REP101 applies; the new cast
+        # must surface even though the old REP105 stays baselined.
+        updated = lint_paths([module], DEFAULT_RULES, root=tmp_path).findings
+        split = baseline.split(updated)
+        assert [f.rule for f in split.new] == ["REP101"]
+        assert [f.rule for f in split.baselined] == ["REP105"]
+
+    def test_stale_entries_are_detected(self, tmp_path):
+        module = write_module(tmp_path, "debt.py", BAD_SOURCE)
+        findings = lint_paths([module], DEFAULT_RULES, root=tmp_path).findings
+        baseline = Baseline.from_findings(findings)
+        module.write_text("def f(task):\n    return task()\n")
+        clean = lint_paths([module], DEFAULT_RULES, root=tmp_path).findings
+        split = baseline.split(clean)
+        assert split.new == [] and split.baselined == []
+        assert split.stale == [findings[0].fingerprint]
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert len(load_baseline(tmp_path / "absent.json")) == 0
+
+    def test_malformed_file_raises(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_baseline(bogus)
+
+
+class TestReporters:
+    def _split(self, tmp_path):
+        module = write_module(tmp_path, "debt.py", BAD_SOURCE)
+        result = lint_paths([module], DEFAULT_RULES, root=tmp_path)
+        return result, Baseline().split(result.findings)
+
+    def test_text_report_lists_findings_and_summary(self, tmp_path):
+        result, split = self._split(tmp_path)
+        report = render_text(result, split)
+        assert "REP105" in report
+        assert "1 new finding(s)" in report
+
+    def test_json_report_is_machine_readable(self, tmp_path):
+        result, split = self._split(tmp_path)
+        payload = json.loads(render_json(result, split, baseline_path="b.json"))
+        assert payload["tool"] == "repro-lint"
+        assert payload["summary"]["new"] == 1
+        assert payload["summary"]["by_rule"] == {"REP105": 1}
+        assert payload["findings"][0]["rule"] == "REP105"
+        assert payload["baseline"] == "b.json"
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_module(tmp_path, "clean.py", "def f():\n    return 1\n")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        write_module(tmp_path, "dirty.py", BAD_SOURCE)
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        assert "REP105" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        write_module(tmp_path, "dirty.py", BAD_SOURCE)
+        assert lint_main([str(tmp_path), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 1
+
+    def test_update_then_check_baseline_cycle(self, tmp_path, capsys):
+        module = write_module(tmp_path, "debt.py", BAD_SOURCE)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(module), "--baseline", str(baseline), "--update-baseline"]) == 0
+        assert lint_main([str(module), "--baseline", str(baseline), "--check-baseline"]) == 0
+        # Fixing the debt makes the baseline stale: --check-baseline fails
+        # until --update-baseline drops the entry.
+        module.write_text("def f(task):\n    return task()\n")
+        assert lint_main([str(module), "--baseline", str(baseline), "--check-baseline"]) == 1
+        assert lint_main([str(module), "--baseline", str(baseline), "--update-baseline"]) == 0
+        assert lint_main([str(module), "--baseline", str(baseline), "--check-baseline"]) == 0
+        capsys.readouterr()
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        write_module(tmp_path, "broken.py", "def f(:\n")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_output_file_written(self, tmp_path, capsys):
+        write_module(tmp_path, "clean.py", "x = 1\n")
+        report = tmp_path / "out" / "lint.json"
+        assert (
+            lint_main(
+                [str(tmp_path), "--no-baseline", "--format", "json", "--output", str(report)]
+            )
+            == 0
+        )
+        assert json.loads(report.read_text())["tool"] == "repro-lint"
+        capsys.readouterr()
+
+    def test_main_cli_has_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        write_module(tmp_path, "clean.py", "x = 1\n")
+        assert repro_main(["lint", str(tmp_path), "--no-baseline"]) == 0
+        capsys.readouterr()
+
+
+class TestShippedTree:
+    """The acceptance-criteria gate: the repository itself lints clean."""
+
+    def test_src_is_clean_against_committed_baseline(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        exit_code = lint_main(["src", "--check-baseline"])
+        output = capsys.readouterr().out
+        assert exit_code == 0, f"repro-lint found new findings:\n{output}"
+
+    def test_committed_baseline_has_no_stale_entries(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        baseline = load_baseline(REPO_ROOT / DEFAULT_BASELINE)
+        result = lint_paths([Path("src")], DEFAULT_RULES, root=REPO_ROOT)
+        split = baseline.split(result.findings)
+        assert split.stale == [], (
+            "baseline entries no longer produced by the tree; run "
+            "`repro-4cycles lint src --update-baseline`"
+        )
+
+    def test_console_entry_point(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.lint.cli", "src", "--format", "json"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        payload = json.loads(completed.stdout)
+        assert payload["summary"]["new"] == 0

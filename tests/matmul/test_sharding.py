@@ -242,9 +242,23 @@ def test_env_override_sets_default_block_entries(monkeypatch):
 
     monkeypatch.setenv("REPRO_SPGEMM_BLOCK_ENTRIES", "7")
     assert engine._block_entries_from_env() == 7
-    monkeypatch.setenv("REPRO_SPGEMM_BLOCK_ENTRIES", "not-a-number")
-    assert engine._block_entries_from_env() == 1 << 22
-    monkeypatch.setenv("REPRO_SPGEMM_BLOCK_ENTRIES", "-3")
-    assert engine._block_entries_from_env() == 1 << 22
     monkeypatch.delenv("REPRO_SPGEMM_BLOCK_ENTRIES")
     assert engine._block_entries_from_env() == 1 << 22
+    # An unset-looking (blank) value behaves like unset rather than erroring.
+    monkeypatch.setenv("REPRO_SPGEMM_BLOCK_ENTRIES", "   ")
+    assert engine._block_entries_from_env() == 1 << 22
+
+
+def test_invalid_block_entries_env_raises_configuration_error(monkeypatch):
+    from repro.exceptions import ConfigurationError
+    from repro.matmul import engine
+
+    monkeypatch.setenv("REPRO_SPGEMM_BLOCK_ENTRIES", "not-a-number")
+    with pytest.raises(ConfigurationError, match="REPRO_SPGEMM_BLOCK_ENTRIES"):
+        engine._block_entries_from_env()
+    monkeypatch.setenv("REPRO_SPGEMM_BLOCK_ENTRIES", "-3")
+    with pytest.raises(ConfigurationError, match="REPRO_SPGEMM_BLOCK_ENTRIES"):
+        engine._block_entries_from_env()
+    monkeypatch.setenv("REPRO_SPGEMM_BLOCK_ENTRIES", "0")
+    with pytest.raises(ConfigurationError, match="positive"):
+        engine._block_entries_from_env()
