@@ -27,6 +27,7 @@ from repro.api.config import EngineConfig
 from repro.api.engine import (
     EVENT_BATCH_APPLIED,
     EVENT_CHECKPOINT,
+    EVENT_EXECUTOR_DEGRADED,
     EVENT_KINDS,
     EVENT_PHASE_REBUILD,
     EVENT_UPDATE_APPLIED,
@@ -62,6 +63,7 @@ __all__ = [
     "EVENT_BATCH_APPLIED",
     "EVENT_PHASE_REBUILD",
     "EVENT_CHECKPOINT",
+    "EVENT_EXECUTOR_DEGRADED",
     "CounterSpec",
     "OptionSpec",
     "register_spec",

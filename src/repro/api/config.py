@@ -27,7 +27,8 @@ from repro.exceptions import ConfigurationError
 #: they must be set through the config fields, not the options mapping, so a
 #: config never says the same thing twice.
 _RESERVED_OPTIONS = (
-    "record_metrics", "interned", "backend", "workers", "shard_policy", "block_entries"
+    "record_metrics", "interned", "backend", "workers", "shard_policy", "block_entries",
+    "wal_path", "snapshot_every", "fsync_policy",
 )
 
 #: Matmul backends a counter's batch kernels accept (mirrors
@@ -39,6 +40,10 @@ _BACKEND_CHOICES = ("auto", "dense", "csr")
 #: (mirrors :data:`repro.matmul.sharding.SHARD_POLICIES`; duplicated literally
 #: for the same import-isolation reason as the backends above).
 _SHARD_POLICY_CHOICES = ("auto", "serial", "thread", "process")
+
+#: WAL fsync policies (mirrors :data:`repro.durability.wal.FSYNC_POLICIES`;
+#: duplicated literally for the same import-isolation reason).
+_FSYNC_POLICY_CHOICES = ("always", "batch", "never")
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,14 @@ class EngineConfig:
     workers: int = 1
     shard_policy: str = "auto"
     block_entries: "int | None" = None
+    #: Durability: a write-ahead log path enables crash-safe operation (every
+    #: update is logged before it is applied; see :mod:`repro.durability`);
+    #: ``snapshot_every`` checkpoints next to the log after that many logged
+    #: records; ``fsync_policy`` picks when the log hits stable storage
+    #: ("always" per record, "batch" per apply/apply_batch call, "never").
+    wal_path: "str | None" = None
+    snapshot_every: "int | None" = None
+    fsync_policy: str = "batch"
 
     def __post_init__(self) -> None:
         if not isinstance(self.batch_size, int) or isinstance(self.batch_size, bool):
@@ -98,6 +111,31 @@ class EngineConfig:
                 raise ConfigurationError(
                     f"block_entries must be positive, got {self.block_entries}"
                 )
+        if self.wal_path is not None:
+            if not isinstance(self.wal_path, (str, bytes)) and not hasattr(self.wal_path, "__fspath__"):
+                raise ConfigurationError(
+                    f"wal_path must be a path or None, got {type(self.wal_path).__name__}"
+                )
+            object.__setattr__(self, "wal_path", str(self.wal_path))
+        if self.snapshot_every is not None:
+            if not isinstance(self.snapshot_every, int) or isinstance(self.snapshot_every, bool):
+                raise ConfigurationError(
+                    f"snapshot_every must be an integer or None, "
+                    f"got {type(self.snapshot_every).__name__}"
+                )
+            if self.snapshot_every < 1:
+                raise ConfigurationError(
+                    f"snapshot_every must be positive, got {self.snapshot_every}"
+                )
+            if self.wal_path is None:
+                raise ConfigurationError(
+                    "snapshot_every requires wal_path (snapshots live next to the log)"
+                )
+        if self.fsync_policy not in _FSYNC_POLICY_CHOICES:
+            raise ConfigurationError(
+                f"fsync_policy must be one of {', '.join(_FSYNC_POLICY_CHOICES)}, "
+                f"got {self.fsync_policy!r}"
+            )
         object.__setattr__(self, "options", dict(self.options))
         reserved = sorted(set(self.options) & set(_RESERVED_OPTIONS))
         if reserved:
@@ -180,6 +218,9 @@ class EngineConfig:
             "workers": self.workers,
             "shard_policy": self.shard_policy,
             "block_entries": self.block_entries,
+            "wal_path": self.wal_path,
+            "snapshot_every": self.snapshot_every,
+            "fsync_policy": self.fsync_policy,
         }
 
     @classmethod
@@ -193,6 +234,7 @@ class EngineConfig:
         known = {
             "counter", "options", "batch_size", "interned", "record_metrics",
             "track_costs", "backend", "workers", "shard_policy", "block_entries",
+            "wal_path", "snapshot_every", "fsync_policy",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -217,6 +259,9 @@ class EngineConfig:
             workers=payload.get("workers", 1),
             shard_policy=payload.get("shard_policy", "auto"),
             block_entries=payload.get("block_entries", None),
+            wal_path=payload.get("wal_path", None),
+            snapshot_every=payload.get("snapshot_every", None),
+            fsync_policy=payload.get("fsync_policy", "batch"),
         )
 
     @classmethod

@@ -1,0 +1,55 @@
+"""Crash-safe durability for :class:`~repro.api.engine.FourCycleEngine`.
+
+Three pieces:
+
+* :mod:`repro.durability.wal` — :class:`WriteAheadLog`, an append-only JSONL
+  update log in :class:`~repro.api.sources.ReplaySource`'s format extended
+  with per-record sequence numbers and a CRC32 trailer, with configurable
+  fsync policy and crash-tolerant reopen;
+* :mod:`repro.durability.snapshots` — checkpoint generations next to the log
+  (``<wal>.snap-<seq>.json``), newest-valid-wins selection, pruning;
+* :mod:`repro.durability.recovery` — :func:`recover`, which rebuilds an
+  engine from the latest valid snapshot plus the WAL tail, tolerating exactly
+  one torn final record, and re-attaches the log.
+"""
+
+from repro.durability.recovery import RecoveryReport, recover
+from repro.durability.snapshots import (
+    DEFAULT_KEEP_SNAPSHOTS,
+    latest_valid_snapshot,
+    list_snapshot_paths,
+    prune_snapshots,
+    snapshot_path_for,
+)
+from repro.durability.wal import (
+    FSYNC_POLICIES,
+    WalScan,
+    WriteAheadLog,
+    decode_wal_record,
+    encode_wal_record,
+    load_wal_meta,
+    replay_wal,
+    save_wal_meta,
+    scan_wal,
+    wal_meta_path,
+)
+
+__all__ = [
+    "WriteAheadLog",
+    "FSYNC_POLICIES",
+    "WalScan",
+    "encode_wal_record",
+    "decode_wal_record",
+    "scan_wal",
+    "replay_wal",
+    "wal_meta_path",
+    "save_wal_meta",
+    "load_wal_meta",
+    "snapshot_path_for",
+    "list_snapshot_paths",
+    "latest_valid_snapshot",
+    "prune_snapshots",
+    "DEFAULT_KEEP_SNAPSHOTS",
+    "recover",
+    "RecoveryReport",
+]

@@ -1,0 +1,81 @@
+"""Snapshot generations for a write-ahead log.
+
+The engine periodically checkpoints next to its log as
+``<wal>.snap-<seq>.json``, where ``seq`` is the last WAL sequence number the
+snapshot covers; records above it are the replay tail.  Keeping the last few
+generations (default two) means a snapshot torn by a crash costs a longer
+replay, never the run: recovery walks generations newest-first and takes the
+first one whose embedded checksum verifies, falling back to a full-log replay
+when none does.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.io.serialization import load_engine_snapshot
+
+PathLike = Union[str, Path]
+
+#: Snapshot generations retained by :func:`prune_snapshots`.
+DEFAULT_KEEP_SNAPSHOTS = 2
+
+_SNAPSHOT_PATTERN = re.compile(r"\.snap-(\d+)\.json$")
+
+
+def snapshot_path_for(wal_path: PathLike, seq: int) -> Path:
+    """Where the snapshot covering WAL records ``<= seq`` lives."""
+    wal = Path(wal_path)
+    return wal.with_name(f"{wal.name}.snap-{max(seq, 0):012d}.json")
+
+
+def list_snapshot_paths(wal_path: PathLike) -> List[Tuple[int, Path]]:
+    """Every snapshot generation for ``wal_path``, ascending by sequence."""
+    wal = Path(wal_path)
+    found: List[Tuple[int, Path]] = []
+    if not wal.parent.exists():
+        return found
+    for candidate in wal.parent.glob(f"{wal.name}.snap-*.json"):
+        match = _SNAPSHOT_PATTERN.search(candidate.name)
+        if match is not None:
+            found.append((int(match.group(1)), candidate))
+    found.sort(key=lambda entry: entry[0])
+    return found
+
+
+def latest_valid_snapshot(
+    wal_path: PathLike,
+) -> Optional[Tuple[int, dict, Path]]:
+    """The newest snapshot that loads and verifies, or ``None``.
+
+    Returns ``(seq, payload, path)``; generations that fail validation
+    (torn file, checksum mismatch, missing keys) are skipped, not deleted —
+    they are evidence.
+    """
+    for seq, path in reversed(list_snapshot_paths(wal_path)):
+        try:
+            payload = load_engine_snapshot(path)
+        except ConfigurationError:
+            # SnapshotCorruptionError included: fall back to the previous
+            # generation (or a full replay) rather than failing recovery.
+            continue
+        embedded = payload.get("wal_seq")
+        if isinstance(embedded, int) and not isinstance(embedded, bool):
+            seq = embedded
+        return seq, payload, path
+    return None
+
+
+def prune_snapshots(wal_path: PathLike, keep: int = DEFAULT_KEEP_SNAPSHOTS) -> List[Path]:
+    """Delete all but the newest ``keep`` generations; returns what was removed."""
+    if keep < 1:
+        raise ConfigurationError(f"must keep at least one snapshot, got keep={keep}")
+    generations = list_snapshot_paths(wal_path)
+    removed: List[Path] = []
+    for _, path in generations[:-keep]:
+        path.unlink(missing_ok=True)
+        removed.append(path)
+    return removed

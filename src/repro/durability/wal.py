@@ -1,0 +1,437 @@
+"""The write-ahead log: crash-safe, replayable update durability.
+
+Format
+------
+One JSON object per line, in :class:`~repro.api.sources.ReplaySource`'s exact
+update encoding (``u``/``v``/``kind``) extended with two durability fields:
+
+* ``seq`` — a per-record sequence number, contiguous within the file (the
+  first record of a compacted log may start above zero);
+* ``crc`` — a CRC32 trailer over the canonical JSON of the record without the
+  ``crc`` field itself.
+
+Because decoders of the base format ignore unknown keys, a WAL file *is* a
+valid ``ReplaySource`` stream; the extra fields only matter to recovery, which
+uses them to skip records already covered by a snapshot and to reject
+corruption.
+
+Crash semantics
+---------------
+Appends go through an unbuffered file descriptor, so a record is handed to the
+OS the moment :meth:`WriteAheadLog.append` returns; the ``fsync_policy``
+decides when it is forced to stable storage (``"always"`` per record,
+``"batch"`` at each :meth:`commit` — the engine commits once per
+apply/apply_batch call — ``"never"`` leaves it to the OS).  A crash can
+therefore leave at most one torn record, at the tail.  Readers tolerate
+exactly that: a record that fails validation is forgiven only when nothing
+but blank space follows it; a bad record with more data after it is
+mid-file corruption and raises :class:`~repro.exceptions.WalCorruptionError`.
+
+Opening an existing log truncates a torn tail (after validating the prefix),
+so the writer always resumes from the last durable record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError, InjectedCrashError, WalCorruptionError
+from repro.faults.injector import (
+    ACTION_CORRUPT_RECORD,
+    ACTION_CRASH,
+    ACTION_TORN_WRITE,
+    SITE_WAL_APPEND,
+    Fault,
+    FaultInjector,
+)
+from repro.graph.updates import EdgeUpdate
+from repro.io.serialization import edge_update_from_dict, edge_update_to_dict
+
+PathLike = Union[str, Path]
+
+#: When the log is forced to stable storage: every record, every commit point
+#: (one engine apply/apply_batch call), or never (the OS decides).
+FSYNC_POLICIES = ("always", "batch", "never")
+
+_CANONICAL = dict(sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Record codec
+# ---------------------------------------------------------------------------
+def encode_wal_record(update: EdgeUpdate, seq: int) -> bytes:
+    """One WAL line for ``update`` at sequence number ``seq`` (newline included)."""
+    record = dict(edge_update_to_dict(update), seq=int(seq))
+    crc = zlib.crc32(json.dumps(record, **_CANONICAL).encode("utf-8"))
+    record["crc"] = crc
+    return (json.dumps(record, **_CANONICAL) + "\n").encode("utf-8")
+
+
+def decode_wal_record(
+    line: str, path: Optional[PathLike] = None, line_number: Optional[int] = None
+) -> Tuple[int, EdgeUpdate]:
+    """Inverse of :func:`encode_wal_record`; raises :class:`WalCorruptionError`."""
+    where = f"{path}:{line_number}: " if path is not None else ""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise WalCorruptionError(f"{where}not valid JSON: {line[:80]!r}") from error
+    if not isinstance(payload, dict):
+        raise WalCorruptionError(
+            f"{where}expected a JSON object, got {type(payload).__name__}"
+        )
+    crc = payload.pop("crc", None)
+    if not isinstance(crc, int):
+        raise WalCorruptionError(f"{where}record has no integer crc trailer")
+    expected = zlib.crc32(json.dumps(payload, **_CANONICAL).encode("utf-8"))
+    if crc != expected:
+        raise WalCorruptionError(
+            f"{where}CRC mismatch: stored {crc}, computed {expected}"
+        )
+    seq = payload.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise WalCorruptionError(f"{where}record has no valid sequence number: {seq!r}")
+    try:
+        update = edge_update_from_dict(payload)
+    except ConfigurationError as error:
+        raise WalCorruptionError(f"{where}{error}") from error
+    return seq, update
+
+
+# ---------------------------------------------------------------------------
+# Readers
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WalScan:
+    """Validation summary of one log file."""
+
+    first_seq: int          #: sequence number of the first record (-1 if empty)
+    last_seq: int           #: sequence number of the last valid record (-1 if empty)
+    num_records: int        #: valid records seen
+    valid_bytes: int        #: byte length of the valid prefix (truncation point)
+    torn_tail: bool         #: whether a torn final record was dropped
+    torn_line: Optional[int]  #: line number of the torn record, if any
+
+
+def scan_wal(path: PathLike, tolerate_torn_tail: bool = True) -> WalScan:
+    """Validate a log end to end without materializing its updates.
+
+    A record that fails validation is tolerated only when it is the final
+    non-blank line (a torn tail) *and* ``tolerate_torn_tail`` is set; any bad
+    record followed by more data raises :class:`WalCorruptionError`, as does a
+    sequence gap anywhere.
+    """
+    source = Path(path)
+    first_seq = -1
+    last_seq = -1
+    num_records = 0
+    offset = 0
+    valid_bytes = 0
+    torn_line: Optional[int] = None
+    torn_error: Optional[WalCorruptionError] = None
+    with source.open("rb") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            stripped = raw.strip()
+            offset += len(raw)
+            if not stripped:
+                continue
+            if torn_error is not None:
+                raise torn_error
+            try:
+                seq, _ = decode_wal_record(
+                    stripped.decode("utf-8", errors="replace"), source, line_number
+                )
+            except WalCorruptionError as error:
+                torn_error = error
+                torn_line = line_number
+                continue
+            if last_seq >= 0 and seq != last_seq + 1:
+                raise WalCorruptionError(
+                    f"{source}:{line_number}: sequence gap: expected {last_seq + 1}, "
+                    f"found {seq}"
+                )
+            if first_seq < 0:
+                first_seq = seq
+            last_seq = seq
+            num_records += 1
+            valid_bytes = offset
+    if torn_error is not None and not tolerate_torn_tail:
+        raise torn_error
+    return WalScan(
+        first_seq=first_seq,
+        last_seq=last_seq,
+        num_records=num_records,
+        valid_bytes=valid_bytes,
+        torn_tail=torn_error is not None,
+        torn_line=torn_line,
+    )
+
+
+def replay_wal(
+    path: PathLike, after_seq: int = -1, tolerate_torn_tail: bool = True
+) -> Iterator[Tuple[int, EdgeUpdate]]:
+    """Yield ``(seq, update)`` for every record with ``seq > after_seq``.
+
+    Lazy (one line at a time); corruption semantics match :func:`scan_wal`.
+    """
+    source = Path(path)
+    last_seq = -1
+    pending: Optional[WalCorruptionError] = None
+    with source.open("r", encoding="utf-8", errors="replace") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if pending is not None:
+                raise pending
+            try:
+                seq, update = decode_wal_record(stripped, source, line_number)
+            except WalCorruptionError as error:
+                pending = error
+                continue
+            if last_seq >= 0 and seq != last_seq + 1:
+                raise WalCorruptionError(
+                    f"{source}:{line_number}: sequence gap: expected {last_seq + 1}, "
+                    f"found {seq}"
+                )
+            last_seq = seq
+            if seq > after_seq:
+                yield seq, update
+    if pending is not None and not tolerate_torn_tail:
+        raise pending
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+class WriteAheadLog:
+    """Append-only durable update log with crash-tolerant reopen.
+
+    ``min_next_seq`` floors the next sequence number (recovery passes the
+    snapshot's sequence when the snapshot is ahead of a lost or compacted
+    log).  ``injector`` threads a :class:`~repro.faults.FaultInjector` through
+    the append path; ``None`` (the default) costs one attribute check.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        fsync_policy: str = "batch",
+        injector: Optional[FaultInjector] = None,
+        min_next_seq: int = 0,
+    ) -> None:
+        if fsync_policy not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"fsync_policy must be one of {', '.join(FSYNC_POLICIES)}, "
+                f"got {fsync_policy!r}"
+            )
+        self.path = Path(path)
+        self.fsync_policy = fsync_policy
+        self.injector = injector
+        self.reopened_torn_tail = False
+        next_seq = max(0, int(min_next_seq))
+        if self.path.exists() and self.path.stat().st_size > 0:
+            scan = scan_wal(self.path, tolerate_torn_tail=True)
+            if scan.torn_tail:
+                # Drop the torn record so the writer resumes from durable state.
+                os.truncate(self.path, scan.valid_bytes)
+                self.reopened_torn_tail = True
+            next_seq = max(next_seq, scan.last_seq + 1)
+        self._next_seq = next_seq
+        # Unbuffered: a returned append() is in the OS, so a simulated crash
+        # (which just closes the fd) can never surface half-buffered bytes
+        # later, and fsync semantics are exactly the policy's.
+        self._file = self.path.open("ab", buffering=0)
+        self._closed = False
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last appended record (-1 when empty)."""
+        return self._next_seq - 1
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(f"write-ahead log {self.path} is closed")
+
+    # -- appends -------------------------------------------------------------
+    def append(self, update: EdgeUpdate) -> int:
+        """Durably append one update; returns its sequence number."""
+        self._ensure_open()
+        seq = self._next_seq
+        data = encode_wal_record(update, seq)
+        if self.injector is not None:
+            fault = self.injector.check(SITE_WAL_APPEND)
+            if fault is not None:
+                self._inject_append_fault(fault, data, seq)
+        self._file.write(data)
+        self._next_seq = seq + 1
+        if self.fsync_policy == "always":
+            self._sync()
+        return seq
+
+    def append_batch(self, updates: Iterable[EdgeUpdate]) -> List[int]:
+        """Append every update; the caller owns the commit point."""
+        return [self.append(update) for update in updates]
+
+    def commit(self) -> None:
+        """Force appended records to stable storage per the fsync policy."""
+        self._ensure_open()
+        if self.fsync_policy in ("always", "batch"):
+            self._sync()
+
+    def _sync(self) -> None:
+        os.fsync(self._file.fileno())
+
+    # -- fault actions -------------------------------------------------------
+    def _inject_append_fault(self, fault: Fault, data: bytes, seq: int) -> None:
+        """Act on an armed append fault; every branch simulates a crash."""
+        if fault.action == ACTION_CRASH:
+            if fault.payload.get("when") == "after":
+                self._file.write(data)
+                self._next_seq = seq + 1
+                self._sync()
+            self._simulate_crash(f"injected crash at {SITE_WAL_APPEND} seq={seq}")
+        elif fault.action == ACTION_TORN_WRITE:
+            keep = fault.payload.get("keep_bytes")
+            if not isinstance(keep, int) or not 0 < keep < len(data):
+                keep = max(1, len(data) // 2)
+            self._file.write(data[:keep])
+            self._simulate_crash(f"injected torn write at seq={seq} ({keep} bytes)")
+        elif fault.action == ACTION_CORRUPT_RECORD:
+            corrupted = bytearray(data)
+            index = fault.payload.get("index")
+            if not isinstance(index, int) or not 0 <= index < len(corrupted) - 1:
+                index = len(corrupted) // 2
+            corrupted[index] ^= 0x01
+            self._file.write(bytes(corrupted))
+            self._simulate_crash(f"injected corrupt record at seq={seq} (byte {index})")
+        else:  # pragma: no cover - Fault validation pins site/action pairs
+            raise ConfigurationError(
+                f"fault action {fault.action!r} is not implemented at {SITE_WAL_APPEND}"
+            )
+
+    def _simulate_crash(self, message: str) -> None:
+        """Close the fd (the OS keeps what it was handed) and die."""
+        self._file.close()
+        self._closed = True
+        raise InjectedCrashError(message)
+
+    # -- maintenance ---------------------------------------------------------
+    def truncate_to_seq(self, seq: int) -> None:
+        """Drop every record with a sequence number above ``seq``.
+
+        The engine's rollback path: a batch that was logged but failed to
+        apply never happened, so its records must not survive into recovery.
+        """
+        self._ensure_open()
+        if seq >= self.last_seq:
+            return
+        self._file.close()
+        keep_bytes = 0
+        remaining = 0
+        with self.path.open("rb") as handle:
+            offset = 0
+            for line_number, raw in enumerate(handle, start=1):
+                offset += len(raw)
+                stripped = raw.strip()
+                if not stripped:
+                    continue
+                record_seq, _ = decode_wal_record(
+                    stripped.decode("utf-8", errors="replace"), self.path, line_number
+                )
+                if record_seq <= seq:
+                    keep_bytes = offset
+                    remaining = record_seq + 1
+        os.truncate(self.path, keep_bytes)
+        self._next_seq = remaining
+        self._file = self.path.open("ab", buffering=0)
+
+    def compact(self, keep_after_seq: int) -> int:
+        """Atomically rewrite the log keeping only records past ``keep_after_seq``.
+
+        Called after a durable snapshot at ``keep_after_seq``: everything at or
+        below it is covered by the snapshot.  Sequence numbers are preserved,
+        so a compacted log's first record starts above zero.  Returns the
+        number of records kept.
+        """
+        self._ensure_open()
+        self._sync()
+        tmp = self.path.with_name(self.path.name + ".compact.tmp")
+        kept = 0
+        with tmp.open("wb") as handle:
+            for seq, update in replay_wal(self.path, after_seq=keep_after_seq):
+                handle.write(encode_wal_record(update, seq))
+                kept += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._file.close()
+        os.replace(tmp, self.path)
+        self._file = self.path.open("ab", buffering=0)
+        return kept
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Flush, fsync (unless policy is ``never``), and close; idempotent."""
+        if self._closed:
+            return
+        if self.fsync_policy != "never":
+            self._sync()
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({str(self.path)!r}, fsync_policy={self.fsync_policy!r}, "
+            f"last_seq={self.last_seq})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sidecar metadata
+# ---------------------------------------------------------------------------
+def wal_meta_path(path: PathLike) -> Path:
+    """The config sidecar for a log: written once at WAL creation so recovery
+    can rebuild the engine even when no snapshot ever landed."""
+    wal = Path(path)
+    return wal.with_name(wal.name + ".meta.json")
+
+
+def save_wal_meta(path: PathLike, config: dict) -> None:
+    """Atomically persist the engine config dict next to the log."""
+    target = wal_meta_path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"version": 1, "config": dict(config)}, indent=2, sort_keys=True))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
+def load_wal_meta(path: PathLike) -> Optional[dict]:
+    """The config dict saved by :func:`save_wal_meta`, or ``None`` if absent."""
+    target = wal_meta_path(path)
+    if not target.exists():
+        return None
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"{target}: not valid JSON") from error
+    if not isinstance(payload, dict) or not isinstance(payload.get("config"), dict):
+        raise ConfigurationError(f"{target}: malformed WAL metadata sidecar")
+    return dict(payload["config"])

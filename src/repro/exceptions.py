@@ -85,6 +85,54 @@ class ConfigurationError(ReproError):
     out-of-range exponents, unknown counter names, and similar)."""
 
 
+class DurabilityError(ReproError):
+    """Base class for write-ahead-log and snapshot durability errors."""
+
+
+class WalCorruptionError(DurabilityError):
+    """Raised when a write-ahead-log record fails validation (bad JSON, CRC
+    mismatch, sequence gap) anywhere other than the single torn final record
+    that crash recovery tolerates."""
+
+
+class SnapshotCorruptionError(DurabilityError, ConfigurationError):
+    """Raised when a persisted engine snapshot is malformed (truncated file,
+    invalid JSON, missing keys, checksum mismatch).
+
+    Subclasses :class:`ConfigurationError` so callers that predate the
+    durability layer and catch the broader class keep working.
+    """
+
+
+class RecoverableEngineError(ReproError):
+    """Raised when an engine with an attached WAL fails mid-batch and
+    fail-stops.
+
+    Carries ``last_durable_seq``, the sequence number of the last WAL record
+    that is both durable and applied; :func:`repro.durability.recover` rebuilds
+    a consistent engine at exactly that point.
+    """
+
+    def __init__(self, message: str, last_durable_seq: int = -1) -> None:
+        super().__init__(message)
+        self.last_durable_seq = last_durable_seq
+
+
+class FaultInjectionError(ReproError):
+    """Base class for errors raised deliberately by the fault injector."""
+
+
+class InjectedCrashError(FaultInjectionError):
+    """Raised by an injected crash fault to simulate the process dying at a
+    write point; the in-memory engine must be considered lost and recovery
+    must proceed from disk alone."""
+
+
+class InjectedTransientError(FaultInjectionError):
+    """Raised by an injected transient fault inside a shard task; a correct
+    executor retries and succeeds once the fault schedule is exhausted."""
+
+
 class RelationError(ReproError):
     """Base class for errors raised by the database layer."""
 

@@ -1,0 +1,46 @@
+"""Deterministic fault injection for chaos-testing the durability stack.
+
+See :mod:`repro.faults.injector` for the model: a seed-driven
+:class:`FaultInjector` arms a schedule of :class:`Fault` entries (crash at a
+write point, kill a worker on task N, tear or corrupt a WAL record, raise a
+transient task error) and the instrumented components — the write-ahead log,
+the engine's snapshot writer, the shard executor — consult it behind
+``if injector is not None`` hooks that cost nothing when no injector is
+attached.
+"""
+
+from repro.faults.injector import (
+    ACTION_CORRUPT_RECORD,
+    ACTION_CRASH,
+    ACTION_KILL_WORKER,
+    ACTION_STALL,
+    ACTION_TORN_WRITE,
+    ACTION_TRANSIENT_ERROR,
+    FAULT_ACTIONS,
+    FAULT_SITES,
+    SITE_ACTIONS,
+    SITE_EXECUTOR_TASK,
+    SITE_SNAPSHOT_WRITE,
+    SITE_WAL_APPEND,
+    Fault,
+    FaultInjector,
+    derived_seed,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "derived_seed",
+    "FAULT_SITES",
+    "FAULT_ACTIONS",
+    "SITE_ACTIONS",
+    "SITE_WAL_APPEND",
+    "SITE_SNAPSHOT_WRITE",
+    "SITE_EXECUTOR_TASK",
+    "ACTION_CRASH",
+    "ACTION_TORN_WRITE",
+    "ACTION_CORRUPT_RECORD",
+    "ACTION_KILL_WORKER",
+    "ACTION_TRANSIENT_ERROR",
+    "ACTION_STALL",
+]

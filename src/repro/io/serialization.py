@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import zlib
 from pathlib import Path
 from typing import Iterable, List, Union
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SnapshotCorruptionError
 from repro.graph.updates import EdgeUpdate, LayeredEdgeUpdate, UpdateKind, UpdateStream
 from repro.instrumentation.metrics import UpdateMetrics, UpdateRecord
 
@@ -115,6 +117,29 @@ ENGINE_SNAPSHOT_VERSION = 1
 _SNAPSHOT_KEYS = ("config", "count", "updates_processed", "vertices", "edges")
 
 
+def _snapshot_checksum(payload: dict) -> int:
+    """CRC32 over the canonical JSON of ``payload`` (``checksum`` excluded)."""
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    return zlib.crc32(
+        json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Crash-safe replace: write a sibling tmp file, fsync it, then rename.
+
+    ``os.replace`` is atomic on POSIX, so readers only ever observe the old
+    complete file or the new complete file — never a torn one.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
 def save_engine_snapshot(snapshot: dict, path: PathLike) -> None:
     """Persist a :class:`~repro.api.engine.EngineSnapshot` payload as JSON.
 
@@ -124,6 +149,10 @@ def save_engine_snapshot(snapshot: dict, path: PathLike) -> None:
     as JSON arrays and decoded back to tuples by
     :func:`load_engine_snapshot`.  Other label types fail ``json.dumps`` here,
     at save time.
+
+    The write is atomic (tmp file + fsync + rename) and the payload carries a
+    CRC32 content checksum that :func:`load_engine_snapshot` verifies, so a
+    crash mid-save can never leave a half-written snapshot that later loads.
     """
     missing = sorted(set(_SNAPSHOT_KEYS) - set(snapshot))
     if missing:
@@ -132,7 +161,8 @@ def save_engine_snapshot(snapshot: dict, path: PathLike) -> None:
             f"{', '.join(missing)}"
         )
     payload = dict(snapshot, version=ENGINE_SNAPSHOT_VERSION)
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    payload["checksum"] = _snapshot_checksum(payload)
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _decode_snapshot_label(value):
@@ -150,34 +180,53 @@ def load_engine_snapshot(path: PathLike) -> dict:
     """Read a snapshot written by :func:`save_engine_snapshot`.
 
     Edge pairs and tuple vertex labels come back as tuples (JSON arrays
-    decode to lists, which are not hashable vertex material).
+    decode to lists, which are not hashable vertex material).  Every
+    malformation — truncated or invalid JSON, a checksum mismatch, missing
+    keys, structurally bad vertices/edges — raises
+    :class:`~repro.exceptions.SnapshotCorruptionError` (a
+    :class:`ConfigurationError` subclass) naming the file, never a raw
+    ``json.JSONDecodeError`` or ``KeyError``.
     """
     source = Path(path)
     try:
         payload = json.loads(source.read_text(encoding="utf-8"))
     except json.JSONDecodeError as error:
-        raise ConfigurationError(f"{source}: not valid JSON") from error
+        raise SnapshotCorruptionError(f"{source}: not valid JSON") from error
     if not isinstance(payload, dict):
-        raise ConfigurationError(
+        raise SnapshotCorruptionError(
             f"{source}: expected a JSON object, got {type(payload).__name__}"
         )
-    version = payload.pop("version", None)
+    version = payload.get("version")
     if version != ENGINE_SNAPSHOT_VERSION:
         raise ConfigurationError(
             f"{source}: unsupported engine-snapshot version {version!r} "
             f"(expected {ENGINE_SNAPSHOT_VERSION})"
         )
+    checksum = payload.pop("checksum", None)
+    if checksum is not None and checksum != _snapshot_checksum(payload):
+        raise SnapshotCorruptionError(
+            f"{source}: content checksum mismatch (stored {checksum}, "
+            f"computed {_snapshot_checksum(payload)}); the snapshot is corrupt"
+        )
+    payload.pop("version", None)
     missing = sorted(set(_SNAPSHOT_KEYS) - set(payload))
     if missing:
-        raise ConfigurationError(
+        raise SnapshotCorruptionError(
             f"{source}: snapshot is missing key{'s' if len(missing) > 1 else ''}: "
             f"{', '.join(missing)}"
         )
-    payload["vertices"] = [_decode_snapshot_label(vertex) for vertex in payload["vertices"]]
-    payload["edges"] = [
-        (_decode_snapshot_label(edge[0]), _decode_snapshot_label(edge[1]))
-        for edge in payload["edges"]
-    ]
+    try:
+        payload["vertices"] = [
+            _decode_snapshot_label(vertex) for vertex in payload["vertices"]
+        ]
+        payload["edges"] = [
+            (_decode_snapshot_label(edge[0]), _decode_snapshot_label(edge[1]))
+            for edge in payload["edges"]
+        ]
+    except (TypeError, IndexError, KeyError) as error:
+        raise SnapshotCorruptionError(
+            f"{source}: malformed vertices/edges payload: {error}"
+        ) from error
     return payload
 
 

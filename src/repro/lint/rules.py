@@ -180,9 +180,11 @@ LAYERS: Dict[str, int] = {
     "graph": 0,
     "instrumentation": 0,
     "lint": 0,
+    "faults": 0,
     "io": 1,
     "matmul": 1,
     "core": 2,
+    "durability": 2,
     "db": 3,
     "workloads": 3,
     "api": 4,

@@ -39,13 +39,23 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Iterator, NamedTuple, Optional, Sequence
+import random
+import time
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, InjectedTransientError
+from repro.faults.injector import (
+    ACTION_KILL_WORKER,
+    ACTION_STALL,
+    ACTION_TRANSIENT_ERROR,
+    SITE_EXECUTOR_TASK,
+    FaultInjector,
+)
 from repro.matmul.engine import CsrMatrix, csr_spgemm
 from repro.matmul.omega import CSR_OP_COST, PROCESS_SHARD_OVERHEAD
 
@@ -253,6 +263,34 @@ def merge_shard_results(
     return product, int(sum(r.work for r in results))
 
 
+def run_faulty_shard_task(
+    view: ShardView,
+    block_entries: Optional[int],
+    action: str,
+    payload: dict,
+) -> ShardResult:
+    """:func:`run_shard_task` with an injected fault acted out first.
+
+    Module-level so process pools can pickle it (REP104); the fault's action
+    and payload travel as plain values.  ``kill-worker`` dies the hard way
+    (``os._exit`` skips cleanup handlers, exactly like a SIGKILLed worker),
+    ``stall`` sleeps long enough for the parent's task timeout to fire, and
+    ``transient-error`` raises a typed, retryable exception.
+    """
+    if action == ACTION_KILL_WORKER:
+        os._exit(1)
+    if action == ACTION_TRANSIENT_ERROR:
+        raise InjectedTransientError(
+            f"injected transient failure in shard task (row_start={view.row_start})"
+        )
+    if action == ACTION_STALL:
+        time.sleep(float(payload.get("seconds", 0.2)))
+        return run_shard_task(view, block_entries)
+    raise ConfigurationError(  # pragma: no cover - Fault validation pins pairs
+        f"fault action {action!r} is not implemented for shard tasks"
+    )
+
+
 def available_cores() -> int:
     """Best-effort count of cores this process may use."""
     try:
@@ -281,7 +319,27 @@ class ShardExecutor:
     :meth:`close` (the executor is also a context manager).  Results merge
     in plan order regardless of completion order, so every policy returns
     bit-identical output — the policy is pure performance.
+
+    Fault tolerance: a dispatch that dies (worker killed, pool broken, task
+    timeout, transient task error) is retried up to ``max_retries`` times on a
+    fresh pool with seeded exponential backoff; when the vehicle keeps
+    failing it *degrades* — process pool to thread pool to inline serial —
+    recording each step in :attr:`degradations` and notifying ``on_degrade``
+    (the engine turns that into an ``executor-degraded`` event).  Because
+    every vehicle is bit-identical, degradation trades throughput for
+    progress and never touches the result.  ``injector`` threads a
+    :class:`~repro.faults.FaultInjector` through task dispatch for the chaos
+    suite; ``None`` costs one attribute check per task.
     """
+
+    #: Failover ladder: who takes over when a vehicle keeps failing.
+    _DEGRADE: Dict[str, str] = {"process": "thread", "thread": "serial"}
+
+    #: Dispatch failures that are worth a retry / degradation rather than a
+    #: propagated error: a broken pool, a task timeout, OS-level resource
+    #: exhaustion (fork/pipe failures surface as OSError), and injected
+    #: transient task errors.
+    _RETRYABLE = (BrokenExecutor, FuturesTimeoutError, OSError, InjectedTransientError)
 
     def __init__(
         self,
@@ -290,6 +348,12 @@ class ShardExecutor:
         overshard: int = DEFAULT_OVERSHARD,
         block_entries: Optional[int] = None,
         min_shard_work: int = MIN_SHARD_WORK,
+        max_retries: int = 2,
+        task_timeout: Optional[float] = None,
+        backoff_base: float = 0.02,
+        retry_seed: int = 0,
+        injector: Optional[FaultInjector] = None,
+        on_degrade: Optional[Callable[[str, str, str], None]] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be positive, got {workers}")
@@ -299,11 +363,26 @@ class ShardExecutor:
             )
         if overshard < 1:
             raise ConfigurationError(f"overshard must be positive, got {overshard}")
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ConfigurationError(
+                f"task_timeout must be positive or None, got {task_timeout}"
+            )
         self.workers = workers
         self.policy = policy
         self.overshard = overshard
         self.block_entries = block_entries
         self.min_shard_work = min_shard_work
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self.backoff_base = backoff_base
+        self.injector = injector
+        self.on_degrade = on_degrade
+        #: Every degradation step taken, oldest first:
+        #: ``{"from": ..., "to": ..., "reason": ...}``.
+        self.degradations: List[Dict[str, str]] = []
+        self._retry_rng = random.Random(retry_seed)
         self._thread_pool: Optional[ThreadPoolExecutor] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
 
@@ -347,14 +426,39 @@ class ShardExecutor:
             )
         return self._process_pool
 
+    def _discard_pool(self, kind: str, wait: bool = False) -> None:
+        """Drop one pool so the next dispatch builds a fresh one.
+
+        Used on the failure path (a broken or timed-out pool is never reused)
+        and by :meth:`close`; shutdown errors are swallowed because a pool
+        that already broke may refuse even to shut down, and the discard must
+        still happen.
+        """
+        if kind == "thread":
+            pool, self._thread_pool = self._thread_pool, None
+        elif kind == "process":
+            pool, self._process_pool = self._process_pool, None
+        else:
+            return
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=wait, cancel_futures=not wait)
+        # repro-lint: broad-except-ok shutting down a pool whose workers died
+        # can raise arbitrary errors (BrokenProcessPool bookkeeping,
+        # OSError on dead pipes); discarding must succeed regardless.
+        except Exception:
+            pass
+
     def close(self) -> None:
-        """Shut down any pools this executor created."""
-        if self._thread_pool is not None:
-            self._thread_pool.shutdown(wait=True)
-            self._thread_pool = None
-        if self._process_pool is not None:
-            self._process_pool.shutdown(wait=True)
-            self._process_pool = None
+        """Shut down any pools this executor created.
+
+        Idempotent, and safe to call after a pool broke mid-task: a shutdown
+        that raises still leaves the pool discarded, so no worker processes
+        leak and a later :meth:`spgemm` builds fresh pools.
+        """
+        self._discard_pool("thread", wait=True)
+        self._discard_pool("process", wait=True)
 
     def __enter__(self) -> "ShardExecutor":
         return self
@@ -397,13 +501,103 @@ class ShardExecutor:
             extract_shard_view(left, right, lo, hi, right_row_lengths=lengths)
             for lo, hi in plan.ranges()
         ]
-        if policy == "serial":
-            results = [run_shard_task(view, self.block_entries) for view in views]
-        else:
-            pool = self._pool(policy)
-            # Executor.map preserves submission order, making the merge
-            # deterministic even when shards finish out of order.
-            results = list(
-                pool.map(run_shard_task, views, [self.block_entries] * len(views))
-            )
+        results = self._run_views(views, policy)
         return merge_shard_results(results, left.num_rows, right.num_cols)
+
+    # -- fault-tolerant dispatch ---------------------------------------------
+
+    def _run_views(self, views: Sequence[ShardView], policy: str) -> List[ShardResult]:
+        """Dispatch the shard views, retrying and degrading on failure.
+
+        Each vehicle gets ``max_retries`` fresh-pool retries with seeded
+        exponential backoff before the ladder steps down; inline serial is the
+        floor — when even it keeps failing, the error propagates.
+        """
+        vehicle = policy
+        while True:
+            attempt = 0
+            while True:
+                try:
+                    return self._dispatch(views, vehicle)
+                except self._RETRYABLE as error:
+                    self._discard_pool(vehicle)
+                    attempt += 1
+                    if attempt <= self.max_retries:
+                        self._backoff(attempt)
+                        continue
+                    successor = self._DEGRADE.get(vehicle)
+                    if successor is None:
+                        raise
+                    self._note_degrade(vehicle, successor, error)
+                    vehicle = successor
+                    break
+
+    def _dispatch(self, views: Sequence[ShardView], vehicle: str) -> List[ShardResult]:
+        """One attempt: run every view on ``vehicle``, in plan order.
+
+        Futures are collected via ``submit`` and resolved in submission order
+        (not completion order), preserving the deterministic merge; each
+        ``result`` call carries the task timeout.
+        """
+        if vehicle == "serial":
+            results = []
+            for view in views:
+                fault = self._task_fault(vehicle)
+                if fault is None:
+                    results.append(run_shard_task(view, self.block_entries))
+                else:
+                    results.append(
+                        run_faulty_shard_task(
+                            view, self.block_entries, fault.action, dict(fault.payload)
+                        )
+                    )
+            return results
+        pool = self._pool(vehicle)
+        futures = []
+        for view in views:
+            fault = self._task_fault(vehicle)
+            if fault is None:
+                futures.append(pool.submit(run_shard_task, view, self.block_entries))
+            else:
+                futures.append(
+                    pool.submit(
+                        run_faulty_shard_task,
+                        view,
+                        self.block_entries,
+                        fault.action,
+                        dict(fault.payload),
+                    )
+                )
+        return [future.result(timeout=self.task_timeout) for future in futures]
+
+    def _task_fault(self, vehicle: str):
+        """The injected fault due for this task dispatch, if any.
+
+        ``kill-worker`` only makes sense inside a process pool; on the thread
+        and serial vehicles it is downgraded to a transient error, because
+        ``os._exit`` there would kill the engine process, not a worker.
+        """
+        if self.injector is None:
+            return None
+        fault = self.injector.check(SITE_EXECUTOR_TASK)
+        if fault is None:
+            return None
+        if fault.action == ACTION_KILL_WORKER and vehicle != "process":
+            fault = replace(fault, action=ACTION_TRANSIENT_ERROR)
+        return fault
+
+    def _backoff(self, attempt: int) -> None:
+        """Seeded exponential backoff with jitter before a same-vehicle retry."""
+        delay = self.backoff_base * (2 ** (attempt - 1)) * (0.5 + self._retry_rng.random())
+        if delay > 0:
+            time.sleep(delay)
+
+    def _note_degrade(self, from_vehicle: str, to_vehicle: str, error: BaseException) -> None:
+        entry = {
+            "from": from_vehicle,
+            "to": to_vehicle,
+            "reason": f"{type(error).__name__}: {error}",
+        }
+        self.degradations.append(entry)
+        if self.on_degrade is not None:
+            self.on_degrade(from_vehicle, to_vehicle, entry["reason"])

@@ -1,0 +1,106 @@
+"""The fault injector: deterministic schedules, charges, and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    ACTION_CRASH,
+    ACTION_KILL_WORKER,
+    ACTION_TORN_WRITE,
+    ACTION_TRANSIENT_ERROR,
+    SITE_EXECUTOR_TASK,
+    SITE_WAL_APPEND,
+    Fault,
+    FaultInjector,
+    derived_seed,
+)
+
+
+class TestFaultValidation:
+    def test_unknown_site(self):
+        with pytest.raises(ConfigurationError, match="site"):
+            Fault("wal.rename", ACTION_CRASH)
+
+    def test_action_invalid_at_site(self):
+        # kill-worker only makes sense for executor tasks, not WAL appends.
+        with pytest.raises(ConfigurationError, match="not valid at site"):
+            Fault(SITE_WAL_APPEND, ACTION_KILL_WORKER)
+
+    def test_negative_occurrence(self):
+        with pytest.raises(ConfigurationError, match="occurrence"):
+            Fault(SITE_WAL_APPEND, ACTION_CRASH, at=-1)
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="times"):
+            Fault(SITE_WAL_APPEND, ACTION_CRASH, times=0)
+
+
+class TestDeterminism:
+    def test_unpinned_occurrence_is_seed_stable(self):
+        schedule = [Fault(SITE_WAL_APPEND, ACTION_TORN_WRITE, at=None, horizon=100)]
+        first = FaultInjector(schedule, seed=42)
+        second = FaultInjector(schedule, seed=42)
+        assert first.faults[0].at == second.faults[0].at
+        assert 0 <= first.faults[0].at < 100
+
+    def test_different_seeds_draw_different_points(self):
+        schedule = [Fault(SITE_WAL_APPEND, ACTION_TORN_WRITE, at=None, horizon=10_000)]
+        points = {FaultInjector(schedule, seed=seed).faults[0].at for seed in range(8)}
+        assert len(points) > 1
+
+    def test_derived_seed_is_hash_free_stable(self):
+        # Pinned value: zlib.crc32 is process- and platform-independent,
+        # unlike salted str hashing.
+        assert derived_seed(1, "a", 2) == derived_seed(1, "a", 2)
+        assert derived_seed(1, "a") != derived_seed(2, "a")
+
+    def test_two_injectors_fire_identically(self):
+        schedule = [
+            Fault(SITE_WAL_APPEND, ACTION_CRASH, at=None, horizon=20),
+            Fault(SITE_EXECUTOR_TASK, ACTION_TRANSIENT_ERROR, at=None, horizon=20),
+        ]
+        first, second = FaultInjector(schedule, seed=9), FaultInjector(schedule, seed=9)
+        for injector in (first, second):
+            for _ in range(25):
+                injector.check(SITE_WAL_APPEND)
+                injector.check(SITE_EXECUTOR_TASK)
+        assert first.fired == second.fired
+        assert first.fired
+
+
+class TestCharges:
+    def test_one_shot_fires_exactly_once(self):
+        injector = FaultInjector([Fault(SITE_WAL_APPEND, ACTION_CRASH, at=2)])
+        hits = [injector.check(SITE_WAL_APPEND) for _ in range(6)]
+        assert [hit is not None for hit in hits] == [False, False, True, False, False, False]
+        assert injector.exhausted
+
+    def test_times_arms_consecutive_occurrences(self):
+        injector = FaultInjector([Fault(SITE_WAL_APPEND, ACTION_CRASH, at=1, times=3)])
+        hits = [injector.check(SITE_WAL_APPEND) is not None for _ in range(6)]
+        assert hits == [False, True, True, True, False, False]
+
+    def test_sites_are_independent_counters(self):
+        injector = FaultInjector([Fault(SITE_EXECUTOR_TASK, ACTION_TRANSIENT_ERROR, at=0)])
+        assert injector.check(SITE_WAL_APPEND) is None
+        assert injector.check(SITE_EXECUTOR_TASK) is not None
+        assert injector.occurrences(SITE_WAL_APPEND) == 1
+        assert injector.occurrences(SITE_EXECUTOR_TASK) == 1
+
+
+class TestDescribe:
+    def test_describe_is_json_friendly(self):
+        import json
+
+        injector = FaultInjector(
+            [Fault(SITE_WAL_APPEND, ACTION_TORN_WRITE, at=0, payload={"keep_bytes": 3})],
+            seed=5,
+        )
+        injector.check(SITE_WAL_APPEND)
+        payload = json.loads(json.dumps(injector.describe()))
+        assert payload["seed"] == 5
+        assert payload["faults"][0]["action"] == ACTION_TORN_WRITE
+        assert payload["fired"][0]["occurrence"] == 0
+        assert payload["exhausted"] is True

@@ -1,0 +1,339 @@
+"""Engine durability integration and the recovery entry point.
+
+The contract: a durable engine's count trajectory is identical to a plain
+engine's; after any crash, :func:`repro.durability.recover` rebuilds an
+engine whose count equals the uninterrupted run over the durable prefix and
+whose subsequent trajectory is bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EngineConfig, FourCycleEngine
+from repro.durability import (
+    latest_valid_snapshot,
+    list_snapshot_paths,
+    recover,
+    scan_wal,
+)
+from repro.durability.wal import load_wal_meta, replay_wal
+from repro.exceptions import (
+    ConfigurationError,
+    DuplicateEdgeError,
+    InjectedCrashError,
+    RecoverableEngineError,
+)
+from repro.faults import (
+    ACTION_CRASH,
+    ACTION_TORN_WRITE,
+    SITE_SNAPSHOT_WRITE,
+    SITE_WAL_APPEND,
+    Fault,
+    FaultInjector,
+)
+from repro.graph.updates import EdgeUpdate
+from tests.conftest import random_dynamic_stream
+
+
+def stream(seed: int = 0, n: int = 80):
+    return list(random_dynamic_stream(num_vertices=10, num_updates=n, seed=seed))
+
+
+class TestDurableRuns:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError, match="snapshot_every requires wal_path"):
+            EngineConfig(snapshot_every=5)
+        with pytest.raises(ConfigurationError, match="fsync_policy"):
+            EngineConfig(fsync_policy="later")
+
+    def test_durable_trajectory_equals_plain(self, tmp_path):
+        updates = stream()
+        plain = FourCycleEngine("wedge")
+        trajectory = [plain.apply(update) for update in updates]
+        with FourCycleEngine(
+            EngineConfig(counter="wedge", wal_path=str(tmp_path / "run.wal"))
+        ) as durable:
+            assert [durable.apply(update) for update in updates] == trajectory
+            assert durable.last_durable_seq == len(updates) - 1
+
+    def test_wal_records_match_applied_history(self, tmp_path):
+        updates = stream(n=20)
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            engine.run(updates)
+        assert [update for _, update in replay_wal(wal)] == updates
+
+    def test_constructor_refuses_an_existing_log(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            engine.insert(0, 1)
+        with pytest.raises(ConfigurationError, match="recover"):
+            FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal)))
+
+    def test_meta_sidecar_written_on_attach(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(
+            EngineConfig(counter="wedge", batch_size=3, wal_path=str(wal))
+        ):
+            pass
+        meta = load_wal_meta(wal)
+        assert meta["counter"] == "wedge"
+        assert meta["batch_size"] == 3
+        assert meta["wal_path"] == str(wal)
+
+    def test_rejected_update_is_rolled_back(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            engine.insert(0, 1)
+            with pytest.raises(DuplicateEdgeError):
+                engine.insert(0, 1)
+            # The engine is still usable and the bad record never became durable.
+            engine.insert(1, 2)
+            assert engine.last_durable_seq == 1
+        assert [update for _, update in replay_wal(wal)] == [
+            EdgeUpdate.insert(0, 1),
+            EdgeUpdate.insert(1, 2),
+        ]
+
+
+class TestSnapshots:
+    def test_periodic_generations_and_pruning(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(
+            EngineConfig(counter="wedge", wal_path=str(wal), snapshot_every=20)
+        ) as engine:
+            engine.run(stream())
+        generations = list_snapshot_paths(wal)
+        # 80 records at cadence 20 = 4 snapshots, pruned to the newest 2.
+        assert [seq for seq, _ in generations] == [59, 79]
+
+    def test_checkpoint_embeds_wal_seq(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            engine.run(stream(n=10))
+            snapshot = engine.checkpoint()
+        assert snapshot.wal_seq == 9
+        plain = FourCycleEngine("wedge")
+        assert plain.checkpoint().wal_seq is None
+
+    def test_corrupt_newest_generation_falls_back(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(
+            EngineConfig(counter="wedge", wal_path=str(wal), snapshot_every=20)
+        ) as engine:
+            final = engine.run(stream())
+        newest = list_snapshot_paths(wal)[-1][1]
+        newest.write_text(newest.read_text(encoding="utf-8")[:100], encoding="utf-8")
+        seq, _, path = latest_valid_snapshot(wal)
+        assert seq == 59 and path != newest
+        engine, report = recover(wal, attach=False)
+        assert engine.count == final
+        assert report.snapshot_seq == 59
+
+    def test_every_generation_corrupt_means_full_replay(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(
+            EngineConfig(counter="wedge", wal_path=str(wal), snapshot_every=20)
+        ) as engine:
+            final = engine.run(stream())
+        for _, path in list_snapshot_paths(wal):
+            path.write_text("{}", encoding="utf-8")
+        engine, report = recover(wal, attach=False)
+        assert engine.count == final
+        assert report.snapshot_path is None
+        assert report.replayed_records == 80
+
+    def test_restore_strips_durability_settings(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            engine.run(stream(n=10))
+            snapshot = engine.checkpoint()
+        clone = FourCycleEngine.restore(snapshot)
+        assert clone.config.wal_path is None
+        assert clone.wal is None
+        assert clone.count == snapshot.count
+
+
+class TestRecovery:
+    def test_recover_then_continue_matches_reference(self, tmp_path):
+        updates = stream(seed=3, n=90)
+        reference = FourCycleEngine("wedge")
+        trajectory = [reference.apply(update) for update in updates]
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(
+            EngineConfig(counter="wedge", wal_path=str(wal), snapshot_every=25)
+        ) as engine:
+            for update in updates[:60]:
+                engine.apply(update)
+        recovered, report = recover(wal)
+        assert report.last_seq == 59
+        assert recovered.count == trajectory[59]
+        for index in range(60, len(updates)):
+            assert recovered.apply(updates[index]) == trajectory[index]
+        assert recovered.is_consistent()
+        recovered.close()
+        # The continuation is durable too: a second recovery sees all of it.
+        final, second = recover(wal, attach=False)
+        assert final.count == trajectory[-1]
+        assert second.last_seq == len(updates) - 1
+
+    def test_recover_without_snapshot_uses_the_meta_sidecar(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="hhh22", wal_path=str(wal))) as engine:
+            final = engine.run(stream(n=30))
+        recovered, report = recover(wal, attach=False)
+        assert recovered.name == "hhh22"
+        assert recovered.count == final
+        assert report.snapshot_path is None
+
+    def test_recover_without_any_config_raises(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            engine.run(stream(n=10))
+        from repro.durability.wal import wal_meta_path
+
+        wal_meta_path(wal).unlink()
+        with pytest.raises(ConfigurationError, match="pass config="):
+            recover(wal)
+
+    def test_explicit_counter_name_overrides(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            final = engine.run(stream(n=30))
+        recovered, _ = recover(wal, config="brute-force", attach=False)
+        assert recovered.name == "brute-force"
+        assert recovered.count == final
+
+    def test_missing_log_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            recover(tmp_path / "nope.wal")
+
+    def test_injected_crash_before_snapshot_loses_nothing(self, tmp_path):
+        updates = stream(seed=5, n=60)
+        reference = FourCycleEngine("wedge")
+        trajectory = [reference.apply(update) for update in updates]
+        wal = tmp_path / "run.wal"
+        injector = FaultInjector([Fault(SITE_SNAPSHOT_WRITE, ACTION_CRASH, at=0)])
+        engine = FourCycleEngine(
+            EngineConfig(counter="wedge", wal_path=str(wal), snapshot_every=25),
+            fault_injector=injector,
+        )
+        with pytest.raises(InjectedCrashError):
+            for update in updates:
+                engine.apply(update)
+        recovered, report = recover(wal)
+        # The crash hit the first snapshot point: the 25th record was durable
+        # and applied, only the snapshot file itself is missing.
+        assert report.snapshot_path is None
+        assert report.last_seq == 24
+        assert recovered.count == trajectory[report.last_seq]
+        recovered.close()
+
+    def test_injected_torn_snapshot_falls_back(self, tmp_path):
+        updates = stream(seed=6, n=60)
+        reference = FourCycleEngine("wedge")
+        trajectory = [reference.apply(update) for update in updates]
+        wal = tmp_path / "run.wal"
+        injector = FaultInjector([Fault(SITE_SNAPSHOT_WRITE, ACTION_TORN_WRITE, at=1)])
+        engine = FourCycleEngine(
+            EngineConfig(counter="wedge", wal_path=str(wal), snapshot_every=20),
+            fault_injector=injector,
+        )
+        with pytest.raises(InjectedCrashError):
+            for update in updates:
+                engine.apply(update)
+        # The first generation landed; the second is torn on disk.
+        assert len(list_snapshot_paths(wal)) == 2
+        recovered, report = recover(wal)
+        assert report.snapshot_seq == 19
+        assert recovered.count == trajectory[39]
+        recovered.close()
+
+
+class TestFailStop:
+    def _engine_with_poisoned_batch(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        engine = FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal)))
+        engine.insert(0, 1)
+        return engine, wal
+
+    def test_mid_batch_failure_is_fail_stop(self, tmp_path):
+        engine, wal = self._engine_with_poisoned_batch(tmp_path)
+        bad_batch = [EdgeUpdate.insert(1, 2), EdgeUpdate.insert(0, 1)]  # duplicate
+        with pytest.raises(RecoverableEngineError) as excinfo:
+            engine.apply_batch(bad_batch)
+        assert excinfo.value.last_durable_seq == 0
+        # The poisoned window was rolled back: the log equals applied history.
+        assert [seq for seq, _ in replay_wal(wal)] == [0]
+        # Every further mutation refuses with the same recovery pointer.
+        with pytest.raises(RecoverableEngineError):
+            engine.insert(5, 6)
+        engine.close()
+
+    def test_recovery_resumes_from_the_rollback_point(self, tmp_path):
+        engine, wal = self._engine_with_poisoned_batch(tmp_path)
+        with pytest.raises(RecoverableEngineError):
+            engine.apply_batch([EdgeUpdate.insert(1, 2), EdgeUpdate.insert(0, 1)])
+        engine.close()
+        recovered, report = recover(wal)
+        assert report.last_seq == 0
+        assert recovered.num_edges == 1
+        recovered.apply_batch([EdgeUpdate.insert(1, 2), EdgeUpdate.insert(2, 3)])
+        assert recovered.is_consistent()
+        recovered.close()
+
+
+class TestCompaction:
+    def test_compact_snapshots_then_empties_the_log(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            final = engine.run(stream(n=40))
+            assert engine.compact_wal() == 0
+        assert scan_wal(wal).num_records == 0
+        recovered, report = recover(wal, attach=False)
+        assert recovered.count == final
+        assert report.replayed_records == 0
+        assert report.snapshot_seq == 39
+
+    def test_appends_after_compaction_recover(self, tmp_path):
+        updates = stream(seed=9, n=50)
+        reference = FourCycleEngine("wedge")
+        trajectory = [reference.apply(update) for update in updates]
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            for update in updates[:30]:
+                engine.apply(update)
+            engine.compact_wal()
+            for update in updates[30:]:
+                engine.apply(update)
+        recovered, report = recover(wal, attach=False)
+        assert report.replayed_records == 20
+        assert recovered.count == trajectory[-1]
+
+    def test_cli_recover_reports_and_verifies(self, tmp_path, capsys):
+        from repro.cli import main
+
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            final = engine.run(stream(n=30))
+        assert main(["recover", str(wal)]) == 0
+        out = capsys.readouterr().out
+        assert f"count           {final}" in out
+        assert "consistent      yes" in out
+
+    def test_cli_recover_compact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            engine.run(stream(n=30))
+        assert main(["recover", str(wal), "--compact"]) == 0
+        assert "compacted       log now holds 0 record(s)" in capsys.readouterr().out
+        assert scan_wal(wal).num_records == 0
+
+    def test_cli_recover_missing_log_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["recover", str(tmp_path / "nope.wal")]) == 1
+        assert "recovery failed" in capsys.readouterr().err

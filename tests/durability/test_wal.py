@@ -1,0 +1,211 @@
+"""The write-ahead log: codec, scan/replay semantics, and the writer.
+
+The load-bearing contracts: a WAL file is simultaneously a valid
+``ReplaySource`` stream; a torn *final* record is forgiven (and truncated on
+reopen) while damage anywhere else raises; sequence numbers are contiguous
+and survive rollback, compaction, and reopen.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.sources import ReplaySource
+from repro.durability.wal import (
+    WriteAheadLog,
+    decode_wal_record,
+    encode_wal_record,
+    load_wal_meta,
+    replay_wal,
+    save_wal_meta,
+    scan_wal,
+    wal_meta_path,
+)
+from repro.exceptions import ConfigurationError, WalCorruptionError
+from repro.graph.updates import EdgeUpdate
+
+
+def some_updates(n: int = 6) -> list:
+    updates = []
+    for index in range(n):
+        constructor = EdgeUpdate.insert if index % 3 else EdgeUpdate.delete
+        if index % 3 == 0:
+            constructor = EdgeUpdate.insert
+        updates.append(constructor(index, index + 1))
+    return updates
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        update = EdgeUpdate.insert("a", "b")
+        seq, decoded = decode_wal_record(encode_wal_record(update, 7).decode())
+        assert seq == 7
+        assert decoded == update
+
+    def test_crc_catches_a_flipped_byte(self):
+        line = bytearray(encode_wal_record(EdgeUpdate.insert(1, 2), 0))
+        line[len(line) // 2] ^= 0x01
+        with pytest.raises(WalCorruptionError, match="CRC|JSON|crc"):
+            decode_wal_record(line.decode("utf-8", errors="replace"))
+
+    def test_missing_crc_rejected(self):
+        bare = json.dumps({"u": 1, "v": 2, "kind": "insert", "seq": 0})
+        with pytest.raises(WalCorruptionError, match="crc"):
+            decode_wal_record(bare)
+
+
+class TestWriter:
+    def test_append_then_scan(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with WriteAheadLog(path) as wal:
+            seqs = wal.append_batch(some_updates(5))
+            wal.commit()
+        assert seqs == [0, 1, 2, 3, 4]
+        scan = scan_wal(path)
+        assert (scan.first_seq, scan.last_seq, scan.num_records) == (0, 4, 5)
+        assert not scan.torn_tail
+
+    def test_wal_file_is_a_valid_replay_source(self, tmp_path):
+        path = tmp_path / "log.wal"
+        updates = some_updates(5)
+        with WriteAheadLog(path) as wal:
+            wal.append_batch(updates)
+            wal.commit()
+        assert list(ReplaySource(path)) == updates
+
+    def test_reopen_continues_the_sequence(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(EdgeUpdate.insert(0, 1))
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 0
+            assert wal.append(EdgeUpdate.insert(1, 2)) == 1
+        assert [seq for seq, _ in replay_wal(path)] == [0, 1]
+
+    def test_reopen_truncates_a_torn_tail(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_batch(some_updates(3))
+        whole = path.read_bytes()
+        path.write_bytes(whole + b'{"u": 9, "v": 10, "ki')
+        wal = WriteAheadLog(path)
+        assert wal.reopened_torn_tail
+        assert wal.last_seq == 2
+        wal.close()
+        assert path.read_bytes() == whole
+
+    def test_mid_file_corruption_raises_on_reopen(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_batch(some_updates(4))
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"torn": tru\n'
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(path)
+        with pytest.raises(WalCorruptionError):
+            scan_wal(path)
+
+    def test_sequence_gap_is_corruption(self, tmp_path):
+        path = tmp_path / "log.wal"
+        with path.open("wb") as handle:
+            handle.write(encode_wal_record(EdgeUpdate.insert(0, 1), 0))
+            handle.write(encode_wal_record(EdgeUpdate.insert(1, 2), 5))
+        with pytest.raises(WalCorruptionError, match="gap"):
+            scan_wal(path)
+
+    def test_truncate_to_seq_rolls_back(self, tmp_path):
+        path = tmp_path / "log.wal"
+        wal = WriteAheadLog(path)
+        wal.append_batch(some_updates(6))
+        wal.truncate_to_seq(2)
+        assert wal.last_seq == 2
+        assert [seq for seq, _ in replay_wal(path)] == [0, 1, 2]
+        # The writer resumes exactly after the kept prefix.
+        assert wal.append(EdgeUpdate.insert(50, 51)) == 3
+        wal.close()
+
+    def test_compact_preserves_sequence_numbers(self, tmp_path):
+        path = tmp_path / "log.wal"
+        wal = WriteAheadLog(path)
+        wal.append_batch(some_updates(6))
+        kept = wal.compact(keep_after_seq=3)
+        assert kept == 2
+        assert [seq for seq, _ in replay_wal(path)] == [4, 5]
+        assert wal.append(EdgeUpdate.insert(60, 61)) == 6
+        wal.close()
+        reopened = WriteAheadLog(path)
+        assert reopened.last_seq == 6
+        reopened.close()
+
+    def test_min_next_seq_floors_an_empty_log(self, tmp_path):
+        path = tmp_path / "log.wal"
+        wal = WriteAheadLog(path, min_next_seq=10)
+        assert wal.append(EdgeUpdate.insert(0, 1)) == 10
+        wal.close()
+
+    def test_invalid_fsync_policy(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="fsync_policy"):
+            WriteAheadLog(tmp_path / "log.wal", fsync_policy="sometimes")
+
+    @pytest.mark.parametrize("policy", ["always", "batch", "never"])
+    def test_every_policy_writes_identical_bytes(self, tmp_path, policy):
+        path = tmp_path / f"{policy}.wal"
+        with WriteAheadLog(path, fsync_policy=policy) as wal:
+            wal.append_batch(some_updates(4))
+            wal.commit()
+        reference = b"".join(
+            encode_wal_record(update, seq) for seq, update in enumerate(some_updates(4))
+        )
+        assert path.read_bytes() == reference
+
+    def test_close_is_idempotent_and_blocks_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "log.wal")
+        wal.close()
+        wal.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            wal.append(EdgeUpdate.insert(0, 1))
+
+
+class TestMetaSidecar:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "log.wal"
+        config = {"counter": "wedge", "batch_size": 3}
+        save_wal_meta(path, config)
+        assert wal_meta_path(path).exists()
+        assert load_wal_meta(path) == config
+
+    def test_absent_is_none(self, tmp_path):
+        assert load_wal_meta(tmp_path / "log.wal") is None
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "log.wal"
+        wal_meta_path(path).write_text("not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="JSON"):
+            load_wal_meta(path)
+
+
+class TestReplaySourceTornTail:
+    def test_strict_mode_raises_with_location(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"u": 1, "v": 2, "kind": "insert"}\n{"u": 3, "v":', encoding="utf-8")
+        with pytest.raises(ConfigurationError, match=r"stream\.jsonl:2"):
+            list(ReplaySource(path))
+
+    def test_tolerant_mode_stops_at_the_torn_final_record(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"u": 1, "v": 2, "kind": "insert"}\n{"u": 3, "v":', encoding="utf-8")
+        assert list(ReplaySource(path, tolerate_torn_tail=True)) == [EdgeUpdate.insert(1, 2)]
+
+    def test_tolerant_mode_still_rejects_mid_file_damage(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text(
+            '{"u": 1, "v": 2, "kind": "insert"}\n'
+            "garbage\n"
+            '{"u": 3, "v": 4, "kind": "insert"}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ConfigurationError, match=r"stream\.jsonl:2"):
+            list(ReplaySource(path, tolerate_torn_tail=True))
