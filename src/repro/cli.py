@@ -324,6 +324,7 @@ def _command_recover(args: argparse.Namespace) -> int:
     print(f"snapshot seq    {report.snapshot_seq}")
     print(f"replayed        {report.replayed_records} record(s)")
     print(f"torn tail       {'dropped' if report.torn_tail_dropped else 'no'}")
+    print(f"rejected tail   {'dropped' if report.rejected_tail_dropped else 'no'}")
     print(f"last seq        {report.last_seq}")
     print(f"count           {report.count}")
     print(f"consistent      {'yes' if consistent else 'NO'}")

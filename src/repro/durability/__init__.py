@@ -10,7 +10,7 @@ Three pieces:
   (``<wal>.snap-<seq>.json``), newest-valid-wins selection, pruning;
 * :mod:`repro.durability.recovery` — :func:`recover`, which rebuilds an
   engine from the latest valid snapshot plus the WAL tail, tolerating exactly
-  one torn final record, and re-attaches the log.
+  one torn (or counter-rejected) final record, and re-attaches the log.
 """
 
 from repro.durability.recovery import RecoveryReport, recover
@@ -31,6 +31,7 @@ from repro.durability.wal import (
     replay_wal,
     save_wal_meta,
     scan_wal,
+    truncate_wal_after_seq,
     wal_meta_path,
 )
 
@@ -42,6 +43,7 @@ __all__ = [
     "decode_wal_record",
     "scan_wal",
     "replay_wal",
+    "truncate_wal_after_seq",
     "wal_meta_path",
     "save_wal_meta",
     "load_wal_meta",

@@ -8,7 +8,10 @@
 2. rebuilds a :class:`~repro.api.engine.FourCycleEngine` from it (or from the
    config stored in the WAL's metadata sidecar when no snapshot ever landed);
 3. replays every WAL record past the snapshot's sequence number through the
-   engine's exact batch pipeline, tolerating exactly one torn final record;
+   engine's exact batch pipeline, tolerating exactly one torn final record —
+   and, symmetrically, one *rejected* final record: an update the counter
+   refused whose rollback truncate the crash beat to disk is re-rejected on
+   replay and dropped from the log;
 4. re-attaches the WAL so the recovered engine appends where the crashed one
    stopped.
 
@@ -28,10 +31,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.faults.injector import FaultInjector
 from repro.durability.snapshots import latest_valid_snapshot
-from repro.durability.wal import load_wal_meta, replay_wal, scan_wal
+from repro.durability.wal import (
+    load_wal_meta,
+    replay_wal,
+    scan_wal,
+    truncate_wal_after_seq,
+)
 
 PathLike = Union[str, Path]
 
@@ -46,6 +54,7 @@ class RecoveryReport:
     snapshot_seq: int             #: WAL seq the snapshot covered (-1 = none)
     replayed_records: int         #: WAL tail records applied
     torn_tail_dropped: bool       #: whether the log ended in a torn record
+    rejected_tail_dropped: bool   #: whether the final record was rejected and dropped
     last_seq: int                 #: last durable sequence number after recovery
     count: int                    #: recovered 4-cycle count
 
@@ -57,6 +66,7 @@ class RecoveryReport:
             "snapshot_seq": self.snapshot_seq,
             "replayed_records": self.replayed_records,
             "torn_tail_dropped": self.torn_tail_dropped,
+            "rejected_tail_dropped": self.rejected_tail_dropped,
             "last_seq": self.last_seq,
             "count": self.count,
         }
@@ -122,9 +132,29 @@ def recover(
     scan = scan_wal(wal, tolerate_torn_tail=True)
     replayed = 0
     last_seq = snapshot_seq
+    rejected_tail = False
     window_size = batch_size if batch_size is not None else max(config.batch_size, 1)
     window = []
     for seq, update in replay_wal(wal, after_seq=snapshot_seq):
+        if seq == scan.last_seq:
+            # The final record is the one place write-ahead order can leave a
+            # committed-but-never-applied update: the engine commits, the
+            # counter rejects, and a crash lands before the rollback truncate
+            # is durable.  Apply it alone; if the counter rejects it now it was
+            # rejected then, so drop it from the log like a torn tail.
+            if window:
+                _apply_window(engine, window)
+                replayed += len(window)
+                window = []
+            try:
+                engine.apply(update)
+            except ReproError:
+                truncate_wal_after_seq(wal, seq - 1)
+                rejected_tail = True
+                break
+            replayed += 1
+            last_seq = seq
+            break
         window.append(update)
         last_seq = seq
         if len(window) >= window_size:
@@ -134,7 +164,8 @@ def recover(
     if window:
         _apply_window(engine, window)
         replayed += len(window)
-    last_seq = max(last_seq, scan.last_seq, snapshot_seq)
+    durable_tail = scan.last_seq - 1 if rejected_tail else scan.last_seq
+    last_seq = max(last_seq, durable_tail, snapshot_seq)
 
     if attach:
         engine.attach_wal(
@@ -152,6 +183,7 @@ def recover(
         snapshot_seq=snapshot_seq,
         replayed_records=replayed,
         torn_tail_dropped=scan.torn_tail,
+        rejected_tail_dropped=rejected_tail,
         last_seq=last_seq,
         count=engine.count,
     )

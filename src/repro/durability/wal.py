@@ -206,6 +206,36 @@ def replay_wal(
         raise pending
 
 
+def truncate_wal_after_seq(path: PathLike, seq: int) -> None:
+    """Truncate the log file so no record with a sequence above ``seq`` survives.
+
+    A record that fails to decode ends the valid prefix (everything from it on
+    is being dropped anyway), so this also clears a torn tail.  File-level
+    only — callers owning an open :class:`WriteAheadLog` go through
+    :meth:`WriteAheadLog.truncate_to_seq`, which also fixes up the sequence
+    counter and fd.
+    """
+    source = Path(path)
+    keep_bytes = 0
+    with source.open("rb") as handle:
+        offset = 0
+        for line_number, raw in enumerate(handle, start=1):
+            offset += len(raw)
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            try:
+                record_seq, _ = decode_wal_record(
+                    stripped.decode("utf-8", errors="replace"), source, line_number
+                )
+            except WalCorruptionError:
+                break
+            if record_seq > seq:
+                break
+            keep_bytes = offset
+    os.truncate(source, keep_bytes)
+
+
 # ---------------------------------------------------------------------------
 # Writer
 # ---------------------------------------------------------------------------
@@ -248,6 +278,7 @@ class WriteAheadLog:
         # later, and fsync semantics are exactly the policy's.
         self._file = self.path.open("ab", buffering=0)
         self._closed = False
+        self._dirty = False
 
     # -- introspection -------------------------------------------------------
     @property
@@ -274,6 +305,7 @@ class WriteAheadLog:
             if fault is not None:
                 self._inject_append_fault(fault, data, seq)
         self._file.write(data)
+        self._dirty = True
         self._next_seq = seq + 1
         if self.fsync_policy == "always":
             self._sync()
@@ -284,13 +316,19 @@ class WriteAheadLog:
         return [self.append(update) for update in updates]
 
     def commit(self) -> None:
-        """Force appended records to stable storage per the fsync policy."""
+        """Force appended records to stable storage per the fsync policy.
+
+        A no-op when nothing was written since the last sync, so under the
+        ``always`` policy (where :meth:`append` already synced) the engine's
+        per-update commit costs no second fsync.
+        """
         self._ensure_open()
-        if self.fsync_policy in ("always", "batch"):
+        if self._dirty and self.fsync_policy in ("always", "batch"):
             self._sync()
 
     def _sync(self) -> None:
         os.fsync(self._file.fileno())
+        self._dirty = False
 
     # -- fault actions -------------------------------------------------------
     def _inject_append_fault(self, fault: Fault, data: bytes, seq: int) -> None:
@@ -332,29 +370,23 @@ class WriteAheadLog:
 
         The engine's rollback path: a batch that was logged but failed to
         apply never happened, so its records must not survive into recovery.
+        The truncation is fsynced (unless the policy is ``never``) so a crash
+        right after the rollback cannot resurrect the dropped records.
         """
         self._ensure_open()
         if seq >= self.last_seq:
             return
         self._file.close()
-        keep_bytes = 0
-        remaining = 0
-        with self.path.open("rb") as handle:
-            offset = 0
-            for line_number, raw in enumerate(handle, start=1):
-                offset += len(raw)
-                stripped = raw.strip()
-                if not stripped:
-                    continue
-                record_seq, _ = decode_wal_record(
-                    stripped.decode("utf-8", errors="replace"), self.path, line_number
-                )
-                if record_seq <= seq:
-                    keep_bytes = offset
-                    remaining = record_seq + 1
-        os.truncate(self.path, keep_bytes)
-        self._next_seq = remaining
+        truncate_wal_after_seq(self.path, seq)
+        # The next append must continue the sequence right after ``seq``, NOT
+        # after whatever records survive in the file: a compacted log can be
+        # empty while the sequence counter is far above zero, and restarting
+        # below the snapshot's wal_seq would make recovery silently skip
+        # every later record.
+        self._next_seq = max(0, seq + 1)
         self._file = self.path.open("ab", buffering=0)
+        if self.fsync_policy != "never":
+            self._sync()
 
     def compact(self, keep_after_seq: int) -> int:
         """Atomically rewrite the log keeping only records past ``keep_after_seq``.
@@ -365,7 +397,10 @@ class WriteAheadLog:
         number of records kept.
         """
         self._ensure_open()
-        self._sync()
+        if self.fsync_policy != "never":
+            # Land pending appends before rewriting; under ``never`` durability
+            # is the OS's business, and the rewrite reads the page cache anyway.
+            self._sync()
         tmp = self.path.with_name(self.path.name + ".compact.tmp")
         kept = 0
         with tmp.open("wb") as handle:

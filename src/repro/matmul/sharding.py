@@ -327,7 +327,12 @@ class ShardExecutor:
     recording each step in :attr:`degradations` and notifying ``on_degrade``
     (the engine turns that into an ``executor-degraded`` event).  Because
     every vehicle is bit-identical, degradation trades throughput for
-    progress and never touches the result.  ``injector`` threads a
+    progress and never touches the result.  ``task_timeout`` bounds how long
+    the parent *waits* for each shard result, not the task itself: a
+    timed-out pool is abandoned, but a started thread task cannot be
+    cancelled and keeps its non-daemon thread until it returns (process-pool
+    workers can at least be joined once dead) — :meth:`close` gives every
+    abandoned pool a final shutdown pass.  ``injector`` threads a
     :class:`~repro.faults.FaultInjector` through task dispatch for the chaos
     suite; ``None`` costs one attribute check per task.
     """
@@ -385,6 +390,11 @@ class ShardExecutor:
         self._retry_rng = random.Random(retry_seed)
         self._thread_pool: Optional[ThreadPoolExecutor] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
+        #: Pools dropped on the failure path without waiting.  Their in-flight
+        #: tasks may still be running (a timeout cannot cancel a started
+        #: thread task), so :meth:`close` gives each a final shutdown pass
+        #: instead of leaking them.
+        self._abandoned_pools: List[Executor] = []
 
     # -- policy -------------------------------------------------------------
 
@@ -449,16 +459,37 @@ class ShardExecutor:
         # OSError on dead pipes); discarding must succeed regardless.
         except Exception:
             pass
+        if not wait:
+            # The pool may still have tasks running — a shutdown(wait=False)
+            # cannot cancel started work, only pending futures.  Keep a
+            # reference so close() can try again once the work has (likely)
+            # drained, rather than leaking live threads/processes.
+            self._abandoned_pools.append(pool)
 
     def close(self) -> None:
         """Shut down any pools this executor created.
 
         Idempotent, and safe to call after a pool broke mid-task: a shutdown
         that raises still leaves the pool discarded, so no worker processes
-        leak and a later :meth:`spgemm` builds fresh pools.
+        leak and a later :meth:`spgemm` builds fresh pools.  Pools abandoned
+        on the failure path get a final shutdown pass: process pools are
+        joined (their workers may already be dead), thread pools get a
+        non-blocking cancel — Python offers no way to kill a thread, so a
+        genuinely hung thread task keeps its non-daemon thread alive until it
+        returns (see ``task_timeout``).
         """
         self._discard_pool("thread", wait=True)
         self._discard_pool("process", wait=True)
+        abandoned, self._abandoned_pools = self._abandoned_pools, []
+        for pool in abandoned:
+            try:
+                pool.shutdown(
+                    wait=isinstance(pool, ProcessPoolExecutor), cancel_futures=True
+                )
+            # repro-lint: broad-except-ok same as _discard_pool: a broken
+            # pool may refuse even to shut down, and close() must not raise.
+            except Exception:
+                pass
 
     def __enter__(self) -> "ShardExecutor":
         return self

@@ -17,7 +17,7 @@ from repro.durability import (
     recover,
     scan_wal,
 )
-from repro.durability.wal import load_wal_meta, replay_wal
+from repro.durability.wal import encode_wal_record, load_wal_meta, replay_wal
 from repro.exceptions import (
     ConfigurationError,
     DuplicateEdgeError,
@@ -284,6 +284,46 @@ class TestFailStop:
         recovered.close()
 
 
+class TestRejectedTail:
+    def _durable_pair(self, tmp_path):
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            engine.insert(0, 1)
+            engine.insert(1, 2)
+            final = engine.count
+        return wal, final
+
+    def test_committed_but_rejected_final_record_is_dropped(self, tmp_path):
+        wal, final = self._durable_pair(tmp_path)
+        # Simulate a crash between the WAL commit and the rollback truncate:
+        # a record the counter rejected survives as the final log record.
+        with wal.open("ab") as handle:
+            handle.write(encode_wal_record(EdgeUpdate.insert(0, 1), 2))
+        recovered, report = recover(wal)
+        assert report.rejected_tail_dropped
+        assert report.last_seq == 1
+        assert report.replayed_records == 2
+        assert recovered.count == final
+        # The rejected record is gone from the log, the next update takes its
+        # sequence number, and a second recovery sees a clean history.
+        recovered.apply(EdgeUpdate.insert(2, 3))
+        assert recovered.last_durable_seq == 2
+        recovered.close()
+        _, second = recover(wal, attach=False)
+        assert not second.rejected_tail_dropped
+        assert second.last_seq == 2
+
+    def test_rejection_before_the_tail_still_raises(self, tmp_path):
+        wal, _ = self._durable_pair(tmp_path)
+        # Write-ahead order can only leave ONE rejected record, at the tail;
+        # a rejection mid-log is real corruption and must propagate.
+        with wal.open("ab") as handle:
+            handle.write(encode_wal_record(EdgeUpdate.insert(0, 1), 2))
+            handle.write(encode_wal_record(EdgeUpdate.insert(3, 4), 3))
+        with pytest.raises(DuplicateEdgeError):
+            recover(wal)
+
+
 class TestCompaction:
     def test_compact_snapshots_then_empties_the_log(self, tmp_path):
         wal = tmp_path / "run.wal"
@@ -295,6 +335,28 @@ class TestCompaction:
         assert recovered.count == final
         assert report.replayed_records == 0
         assert report.snapshot_seq == 39
+
+    def test_rejected_update_after_compaction_keeps_the_sequence(self, tmp_path):
+        # Regression: the rollback truncate on a freshly compacted (empty)
+        # log must not reset the sequence counter to zero — later updates
+        # would land below the snapshot's wal_seq and recovery would
+        # silently skip them.
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            engine.insert(0, 1)
+            engine.insert(1, 2)
+            engine.compact_wal()  # snapshot at seq 1, log now empty
+            with pytest.raises(DuplicateEdgeError):
+                engine.insert(0, 1)
+            engine.insert(2, 3)
+            assert engine.last_durable_seq == 2
+            final = engine.count
+        assert [seq for seq, _ in replay_wal(wal)] == [2]
+        recovered, report = recover(wal, attach=False)
+        assert report.replayed_records == 1
+        assert report.last_seq == 2
+        assert recovered.count == final
+        assert recovered.num_edges == 3
 
     def test_appends_after_compaction_recover(self, tmp_path):
         updates = stream(seed=9, n=50)

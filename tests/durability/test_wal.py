@@ -127,6 +127,22 @@ class TestWriter:
         assert wal.append(EdgeUpdate.insert(50, 51)) == 3
         wal.close()
 
+    def test_truncate_after_compaction_keeps_the_sequence(self, tmp_path):
+        # A rollback on a freshly compacted (empty) log must continue the
+        # sequence from the rollback point, not restart at zero — restarting
+        # would put later records below the snapshot's wal_seq, and recovery
+        # would silently skip them.
+        path = tmp_path / "log.wal"
+        wal = WriteAheadLog(path)
+        wal.append_batch(some_updates(4))
+        wal.compact(keep_after_seq=3)
+        assert wal.append(EdgeUpdate.insert(70, 71)) == 4
+        wal.truncate_to_seq(3)
+        assert wal.last_seq == 3
+        assert wal.append(EdgeUpdate.insert(80, 81)) == 4
+        wal.close()
+        assert [seq for seq, _ in replay_wal(path)] == [4]
+
     def test_compact_preserves_sequence_numbers(self, tmp_path):
         path = tmp_path / "log.wal"
         wal = WriteAheadLog(path)
@@ -167,6 +183,46 @@ class TestWriter:
         wal.close()
         with pytest.raises(ConfigurationError, match="closed"):
             wal.append(EdgeUpdate.insert(0, 1))
+
+
+class TestFsyncAccounting:
+    @pytest.fixture
+    def fsync_calls(self, monkeypatch):
+        import os
+
+        calls = []
+        real = os.fsync
+
+        def counting_fsync(fd):
+            calls.append(fd)
+            return real(fd)
+
+        monkeypatch.setattr(os, "fsync", counting_fsync)
+        return calls
+
+    def test_always_policy_syncs_once_per_update(self, tmp_path, fsync_calls):
+        # append() already synced, so the engine's per-update commit() must
+        # not pay a second fsync.
+        with WriteAheadLog(tmp_path / "log.wal", fsync_policy="always") as wal:
+            wal.append(EdgeUpdate.insert(0, 1))
+            wal.commit()
+            assert len(fsync_calls) == 1
+
+    def test_commit_is_a_noop_when_clean(self, tmp_path, fsync_calls):
+        with WriteAheadLog(tmp_path / "log.wal", fsync_policy="batch") as wal:
+            wal.append(EdgeUpdate.insert(0, 1))
+            wal.commit()
+            wal.commit()
+            assert len(fsync_calls) == 1
+
+    def test_compact_respects_the_never_policy(self, tmp_path, fsync_calls):
+        wal = WriteAheadLog(tmp_path / "log.wal", fsync_policy="never")
+        wal.append_batch(some_updates(4))
+        wal.compact(keep_after_seq=1)
+        # Only the atomic-rewrite tmp file is synced; the live log never is.
+        assert len(fsync_calls) == 1
+        wal.close()
+        assert len(fsync_calls) == 1
 
 
 class TestMetaSidecar:

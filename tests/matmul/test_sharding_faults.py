@@ -181,6 +181,31 @@ class TestCleanup:
             process.join(timeout=10)
             assert not process.is_alive()
 
+    def test_timed_out_pool_is_tracked_and_drained_by_close(self):
+        left, right = operands(7)
+        injector = FaultInjector(
+            [Fault(SITE_EXECUTOR_TASK, ACTION_STALL, at=0, payload={"seconds": 0.3})]
+        )
+        executor = ShardExecutor(
+            workers=2,
+            policy="thread",
+            min_shard_work=1,
+            task_timeout=0.05,
+            backoff_base=0.001,
+            injector=injector,
+        )
+        executor.spgemm(left, right)  # first dispatch times out, pool abandoned
+        assert executor._abandoned_pools
+        abandoned = list(executor._abandoned_pools)
+        executor.close()
+        assert executor._abandoned_pools == []
+        # The timeout could not cancel the stalled in-flight task, but once it
+        # drains the abandoned pool's threads exit: nothing leaks past close().
+        for pool in abandoned:
+            for thread in pool._threads:
+                thread.join(timeout=10)
+                assert not thread.is_alive()
+
     def test_validation(self):
         with pytest.raises(ConfigurationError, match="max_retries"):
             ShardExecutor(max_retries=-1)
