@@ -1,0 +1,66 @@
+"""E15 — always-on service load: concurrent HTTP ingestion over one engine.
+
+Drives the :mod:`repro.service` HTTP layer end to end through real sockets:
+hundreds (medium profile) to thousands (full profile) of connection-per-request
+clients ingest disjoint per-client update streams into a single durable
+(WAL-attached) served engine while reader clients poll the published counts
+view, and per-request latency percentiles (p50/p95/p99) are recorded.  The
+acceptance claims:
+
+* **exactness under concurrency on every row** — the experiment raises unless
+  every request succeeded, the served final count is bit-identical to the
+  reference replay (one client block times the client count; blocks are
+  disjoint so arrival order cannot matter), the WAL cursor covers every
+  logged record, and a server-side from-scratch recount agrees
+  (``consistent`` is what CI gates on — never timing);
+* at the full-size profile (``repro-4cycles bench --experiments e15``,
+  recorded in ``BENCH_E15.json``), the service sustains **>= 1000 concurrent
+  ingestion clients** against one durable engine with zero failed requests.
+
+This wrapper runs a medium-size profile (so tier-1 stays fast) and records it
+as ``BENCH_E15_MEDIUM.json`` — a different artifact name than the CLI's
+full-profile ``BENCH_E15.json``, so the two writers never clobber each other.
+Latency percentiles at the medium size are reported, not asserted: timing
+claims live with the full-profile artifact.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    experiment_e15_service_load,
+    text_table,
+    write_bench_artifact,
+)
+
+PARAMS = {
+    "clients": 256,
+    "batches_per_client": 2,
+    "batch_size": 4,
+    "block": 8,
+    "readers": 32,
+    "reader_polls": 2,
+    "counter": "wedge",
+}
+
+
+def test_e15_service_load(benchmark, report_sink):
+    rows = benchmark.pedantic(
+        experiment_e15_service_load,
+        kwargs=PARAMS,
+        rounds=1,
+        iterations=1,
+    )
+    report_sink.append(("E15 always-on service load", text_table(rows, float_digits=2)))
+    write_bench_artifact("E15_MEDIUM", PARAMS, rows)
+    # Exactness is non-negotiable (the experiment also raises on divergence).
+    assert all(row.consistent for row in rows)
+    assert all(row.errors == 0 for row in rows)
+    ingest = next(row for row in rows if row.scenario == "ingest")
+    assert ingest.clients == PARAMS["clients"]
+    assert ingest.requests == PARAMS["clients"] * PARAMS["batches_per_client"]
+    assert ingest.operations == ingest.requests * PARAMS["batch_size"]
+    read = next(row for row in rows if row.scenario == "read-while-ingest")
+    assert read.requests == PARAMS["readers"] * PARAMS["reader_polls"]
+    # Percentiles are ordered by construction; a violation means the sample
+    # aggregation itself broke.
+    assert ingest.p50_ms <= ingest.p95_ms <= ingest.p99_ms

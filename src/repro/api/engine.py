@@ -29,6 +29,7 @@ has a single seam to plug into:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
@@ -241,6 +242,12 @@ class FourCycleEngine:
 
         ``kinds`` restricts delivery to a subset of :data:`EVENT_KINDS`
         (default: all events).
+
+        Callbacks are *isolated*: an exception raised by one subscriber never
+        aborts the apply path or starves the other subscribers — it is
+        surfaced as an ``engine-event-error`` :class:`RuntimeWarning` instead
+        (events fire after the update and its WAL record are already applied,
+        so a raising observer must not be able to poison engine state).
         """
         wanted: Optional[frozenset] = None
         if kinds is not None:
@@ -274,7 +281,20 @@ class FourCycleEngine:
         )
         for callback, wanted in list(self._subscribers):
             if wanted is None or kind in wanted:
-                callback(event)
+                try:
+                    callback(event)
+                # repro-lint: broad-except-ok subscriber isolation: observers
+                # run inside the apply path after the update (and its WAL
+                # record) took effect, so one raising callback must not abort
+                # the update mid-flight or starve the other subscribers; the
+                # failure is surfaced as a warning instead of propagating.
+                except Exception as error:
+                    warnings.warn(
+                        f"engine-event-error: {kind!r} subscriber {callback!r} "
+                        f"raised {type(error).__name__}: {error}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
 
     def _check_phase_rebuild(self) -> None:
         if self._last_phases is None:

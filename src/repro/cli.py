@@ -215,6 +215,15 @@ _BENCH_PROFILES = {
             "repeats": 3,
             "seed": 0,
         },
+        "e15": {
+            "clients": 1200,
+            "batches_per_client": 2,
+            "batch_size": 8,
+            "block": 8,
+            "readers": 64,
+            "reader_polls": 4,
+            "counter": "wedge",
+        },
     },
     "quick": {
         "e10": {"num_vertices": 16, "num_updates": 384, "batch_sizes": (1, 64)},
@@ -243,6 +252,15 @@ _BENCH_PROFILES = {
             "repeats": 1,
             "seed": 0,
         },
+        "e15": {
+            "clients": 128,
+            "batches_per_client": 1,
+            "batch_size": 4,
+            "block": 8,
+            "readers": 16,
+            "reader_polls": 2,
+            "counter": "wedge",
+        },
     },
 }
 
@@ -253,6 +271,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         experiment_e11_kernel_throughput,
         experiment_e12_spgemm_backends,
         experiment_e14_shard_scaling,
+        experiment_e15_service_load,
         text_table,
         write_bench_artifact,
     )
@@ -264,10 +283,11 @@ def _command_bench(args: argparse.Namespace) -> int:
         "e11": ("E11", "interned kernel throughput", experiment_e11_kernel_throughput),
         "e12": ("E12", "sparse-vs-dense product backends", experiment_e12_spgemm_backends),
         "e14": ("E14", "shard-parallel scaling", experiment_e14_shard_scaling),
+        "e15": ("E15", "always-on service load", experiment_e15_service_load),
     }
     for name in chosen:
         if name not in runners:
-            print(f"unknown experiment {name!r}; expected a subset of: e10,e11,e12,e14")
+            print(f"unknown experiment {name!r}; expected a subset of: e10,e11,e12,e14,e15")
             return 2
     for name in chosen:
         artifact_name, title, runner = runners[name]
@@ -284,9 +304,10 @@ def _command_bench(args: argparse.Namespace) -> int:
             params["backends"] = (
                 ("sparse", "csr", "dense") if args.backend == "auto" else (args.backend,)
             )
-        elif args.backend in ("dense", "csr"):
+        elif name != "e15" and args.backend in ("dense", "csr"):
             # Pin the counters' batch-kernel backend; "sparse" has no counter
             # meaning (the dict backend only exists at the matmul layer).
+            # E15 load-tests the service protocol, not a kernel backend.
             params["backend"] = args.backend
         # Exactness between scalar and vectorized paths is asserted inside the
         # experiments; a mismatch raises and exits non-zero.
@@ -310,14 +331,20 @@ def _command_recover(args: argparse.Namespace) -> int:
             attach=args.compact,
             batch_size=args.batch_size,
         )
-        consistent = engine.is_consistent()
-        compacted = None
-        if args.compact:
-            compacted = engine.compact_wal()
-        engine.close()
     except ReproError as error:
         print(f"recovery failed: {error}", file=sys.stderr)
         return 1
+    # The recovered engine owns live resources (with --compact, the reopened
+    # WAL fd); a raising consistency check or compaction must still release
+    # them, so close() sits in a finally covering every exit path.
+    try:
+        consistent = engine.is_consistent()
+        compacted = engine.compact_wal() if args.compact else None
+    except ReproError as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return 1
+    finally:
+        engine.close()
     print(f"wal             {report.wal_path}")
     print(f"counter         {report.counter}")
     print(f"snapshot        {report.snapshot_path or '(none; full-log replay)'}")
@@ -331,6 +358,29 @@ def _command_recover(args: argparse.Namespace) -> int:
     if compacted is not None:
         print(f"compacted       log now holds {compacted} record(s)")
     return 0 if consistent else 1
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ReproService
+
+    service = ReproService(host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        host, port = await service.start()
+        print(f"repro-4cycles service listening on http://{host}:{port}")
+        print(
+            "routes: /health  /engines  /engines/<name>/"
+            "{updates,counts,vertices,consistency,compact,events}"
+        )
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
 
 
 def _command_lint(args: argparse.Namespace) -> int:
@@ -407,6 +457,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recover.set_defaults(handler=_command_recover)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="start the always-on multi-tenant HTTP service (JSON endpoints + SSE events)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8420,
+        help="TCP port; 0 lets the kernel pick a free one (default: 8420)",
+    )
+    serve.set_defaults(handler=_command_serve)
+
     sweep = subparsers.add_parser("omega-sweep", help="update-time exponent as a function of omega")
     sweep.add_argument("--step", type=float, default=0.05)
     sweep.set_defaults(handler=_command_omega_sweep)
@@ -426,12 +491,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench",
-        help="run the perf experiments (E10/E11/E12/E14) and write BENCH_E*.json artifacts",
+        help="run the perf experiments (E10/E11/E12/E14/E15) and write BENCH_E*.json artifacts",
     )
     bench.add_argument(
         "--experiments",
-        default="e10,e11,e12,e14",
-        help="comma-separated subset of e10,e11,e12,e14 to run (default: all)",
+        default="e10,e11,e12,e14,e15",
+        help="comma-separated subset of e10,e11,e12,e14,e15 to run (default: all)",
     )
     bench.add_argument(
         "--backend",

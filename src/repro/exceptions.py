@@ -133,6 +133,12 @@ class InjectedTransientError(FaultInjectionError):
     executor retries and succeeds once the fault schedule is exhausted."""
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the always-on HTTP service layer
+    (:mod:`repro.service`): bad requests, unknown or duplicate tenants, and
+    fail-stopped engines awaiting recovery."""
+
+
 class RelationError(ReproError):
     """Base class for errors raised by the database layer."""
 

@@ -189,6 +189,7 @@ LAYERS: Dict[str, int] = {
     "workloads": 3,
     "api": 4,
     "analysis": 5,
+    "service": 5,
     "cli": 6,
     "repro": 7,
 }
@@ -200,7 +201,8 @@ class LayeringRule(Rule):
     The DAG (see README for the diagram)::
 
         exceptions/kernels/theory/graph/instrumentation/lint
-            -> io/matmul -> core -> db/workloads -> api -> analysis -> cli
+            -> io/matmul -> core -> db/workloads -> api
+            -> analysis/service -> cli
 
     Checked at *module load* scope: top-level imports plus imports at class
     scope (both run at import time).  Imports inside ``if TYPE_CHECKING:``

@@ -1,0 +1,260 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the service layer.
+
+The service's hard dependency budget is the standard library: a FastAPI-style
+framework would make the always-on layer uninstallable in the hermetic
+reproduction environment, and the protocol surface the service needs is tiny —
+JSON request/response bodies, keep-alive connections for the load harness, and
+a server-sent-events (SSE) stream for the engine event bridge.  This module
+owns exactly that surface:
+
+* :func:`read_request` — parse one request (start line, headers,
+  ``Content-Length``-framed body) from an :class:`asyncio.StreamReader` into an
+  :class:`HttpRequest`;
+* :func:`render_response` — serialize a status + JSON payload, with keep-alive
+  negotiation;
+* :func:`sse_preamble` / :func:`format_sse_event` — the ``text/event-stream``
+  framing used by ``GET /engines/<name>/events``;
+* :func:`http_json_request` — the matching *client* (one JSON request over one
+  connection), shared by the E15 load harness and the service tests so the
+  server is always exercised through real sockets.
+
+Framing limits are deliberate and small: the service speaks JSON control
+messages, not bulk uploads, so an oversized body or header block is a protocol
+error (413/400), never an allocation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.exceptions import ServiceError
+
+#: Request-framing limits (protocol errors beyond these, never allocations).
+MAX_HEADER_COUNT = 64
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Reason phrases for the status codes the service actually emits.
+REASON_PHRASES = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ServiceError):
+    """An error with a definite HTTP status.
+
+    Handlers raise it (directly, or via the exception mapping in
+    :mod:`repro.service.app`) and the connection loop renders it as a JSON
+    ``{"error": ...}`` body.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, decoded path, query, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    #: Path segments with empty components removed (``/engines/t/counts`` ->
+    #: ``("engines", "t", "counts")``), already percent-decoded.
+    segments: Tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.segments = tuple(part for part in self.path.split("/") if part)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> dict:
+        """The body decoded as a JSON object; anything else is a 400."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"invalid JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise HttpError(
+                400, f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one HTTP/1.1 request; ``None`` when the peer closed the socket.
+
+    Malformed framing raises :class:`HttpError` (the connection loop answers
+    it and drops the connection, since request boundaries are lost).
+    """
+    try:
+        start_line = await reader.readline()
+    except (ValueError, ConnectionError):  # line over the stream limit / reset
+        raise HttpError(400, "request line too long or connection broken")
+    if not start_line or not start_line.strip():
+        return None
+    parts = start_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(400, f"malformed request line: {start_line[:80]!r}")
+    method, target, version = parts
+
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readline()
+        except (ValueError, ConnectionError):
+            raise HttpError(400, "header line too long or connection broken")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > MAX_HEADER_COUNT:
+            raise HttpError(400, f"too many headers (limit {MAX_HEADER_COUNT})")
+
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError as error:
+        raise HttpError(400, "content-length must be an integer") from error
+    if length < 0:
+        raise HttpError(400, "content-length must be non-negative")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"request body over the {MAX_BODY_BYTES}-byte limit")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None  # the peer died mid-body; nothing to answer
+
+    split = urlsplit(target)
+    request = HttpRequest(
+        method=method.upper(),
+        path=unquote(split.path),
+        query={key: value for key, value in parse_qsl(split.query)},
+        headers=headers,
+        body=body,
+    )
+    if version == "HTTP/1.0" and headers.get("connection", "").lower() != "keep-alive":
+        request.headers["connection"] = "close"
+    return request
+
+
+def render_response(
+    status: int,
+    payload: Optional[Mapping] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one JSON response (status line + headers + body)."""
+    body = b""
+    if payload is not None:
+        body = (json.dumps(payload, default=str) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {REASON_PHRASES.get(status, 'Unknown')}\r\n"
+        f"content-type: application/json\r\n"
+        f"content-length: {len(body)}\r\n"
+        f"connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def error_response(status: int, message: str, keep_alive: bool = False) -> bytes:
+    return render_response(status, {"error": message, "status": status}, keep_alive)
+
+
+def sse_preamble() -> bytes:
+    """Response head opening a server-sent-events stream (no content length:
+    the stream ends when the connection does)."""
+    return (
+        b"HTTP/1.1 200 OK\r\n"
+        b"content-type: text/event-stream\r\n"
+        b"cache-control: no-cache\r\n"
+        b"connection: close\r\n"
+        b"\r\n"
+    )
+
+
+def format_sse_event(kind: str, payload: Mapping) -> bytes:
+    """One SSE frame: ``event:`` the kind, ``data:`` the JSON payload."""
+    data = json.dumps(payload, default=str)
+    return f"event: {kind}\ndata: {data}\n\n".encode("utf-8")
+
+
+async def http_json_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[Mapping] = None,
+) -> Tuple[int, dict]:
+    """One JSON request over one fresh connection; returns (status, body).
+
+    This is the client half used by the E15 load harness and the service
+    tests: deliberately connection-per-request (``connection: close``) so a
+    "client" is exactly one socket and concurrency equals open sockets.
+    """
+    body = b"" if payload is None else json.dumps(payload, default=str).encode("utf-8")
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"host: {host}\r\n"
+            f"content-type: application/json\r\n"
+            f"content-length: {len(body)}\r\n"
+            f"connection: close\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    header_blob, _, response_body = raw.partition(b"\r\n\r\n")
+    status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    status_parts = status_line.split()
+    if len(status_parts) < 2 or not status_parts[1].isdigit():
+        raise ServiceError(f"malformed HTTP response from the service: {status_line!r}")
+    status = int(status_parts[1])
+    decoded: dict = {}
+    if response_body.strip():
+        decoded = json.loads(response_body.decode("utf-8"))
+    return status, decoded
+
+
+def parse_event_kinds(raw: Optional[str], known: Sequence[str]) -> Optional[frozenset]:
+    """Parse an SSE ``kinds`` filter (comma-separated); ``None`` means all."""
+    if raw is None or not raw.strip():
+        return None
+    kinds = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    unknown = sorted(kinds - set(known))
+    if unknown:
+        raise HttpError(
+            400,
+            f"unknown event kind{'s' if len(unknown) > 1 else ''}: "
+            f"{', '.join(unknown)}; expected a subset of {', '.join(known)}",
+        )
+    return kinds

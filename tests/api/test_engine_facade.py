@@ -111,6 +111,46 @@ class TestEvents:
         with pytest.raises(ConfigurationError, match="unknown event kind"):
             engine.subscribe(lambda event: None, kinds=["nope"])
 
+    def test_raising_subscriber_is_isolated(self):
+        """One raising subscriber must not abort the apply path or starve the
+        other subscribers — the regression was a single bad callback poisoning
+        the engine mid-update for every other consumer."""
+        engine = FourCycleEngine(EngineConfig(counter="wedge"))
+        seen = []
+
+        def bad_subscriber(event):
+            raise RuntimeError("observer bug")
+
+        engine.subscribe(bad_subscriber)
+        engine.subscribe(seen.append)
+        with pytest.warns(RuntimeWarning, match="engine-event-error.*observer bug"):
+            count = engine.insert(1, 2)
+        assert count == 0
+        assert [event.kind for event in seen] == [EVENT_UPDATE_APPLIED]
+        # The engine stays healthy and keeps emitting to healthy subscribers.
+        with pytest.warns(RuntimeWarning, match="engine-event-error"):
+            engine.apply_batch([EdgeUpdate.insert(2, 3), EdgeUpdate.insert(3, 4)])
+        assert [event.kind for event in seen] == [EVENT_UPDATE_APPLIED, EVENT_BATCH_APPLIED]
+        assert engine.num_edges == 3
+        assert engine.is_consistent()
+
+    def test_raising_subscriber_keeps_durable_state_intact(self, tmp_path):
+        """With a WAL attached the logged record must stay applied history
+        even when a subscriber raises after the update took effect."""
+        engine = FourCycleEngine(
+            EngineConfig(counter="wedge", wal_path=str(tmp_path / "run.wal"))
+        )
+
+        def bad_subscriber(event):
+            raise ValueError("late observer failure")
+
+        engine.subscribe(bad_subscriber)
+        with pytest.warns(RuntimeWarning, match="engine-event-error"):
+            engine.insert(1, 2)
+        assert engine.last_durable_seq == 0
+        assert engine.num_edges == 1
+        engine.close()
+
     def test_phase_rebuild_events_fire_for_phase_counters(self):
         engine = FourCycleEngine(EngineConfig(counter="phase-fmm", options={"phase_length": 4}))
         rebuilds = []

@@ -399,3 +399,35 @@ class TestCompaction:
 
         assert main(["recover", str(tmp_path / "nope.wal")]) == 1
         assert "recovery failed" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("failing_step", ["is_consistent", "compact_wal"])
+    def test_cli_recover_closes_engine_on_raising_verification(
+        self, tmp_path, capsys, monkeypatch, failing_step
+    ):
+        """Regression: the recovered engine (and its WAL fd) leaked when the
+        consistency check or compaction raised after a successful recover."""
+        import repro.durability as durability
+        from repro.cli import main
+        from repro.exceptions import CounterStateError
+
+        wal = tmp_path / "run.wal"
+        with FourCycleEngine(EngineConfig(counter="wedge", wal_path=str(wal))) as engine:
+            engine.run(stream(n=20))
+
+        captured = {}
+        real_recover = durability.recover
+
+        def capturing_recover(*args, **kwargs):
+            recovered, report = real_recover(*args, **kwargs)
+            captured["engine"] = recovered
+
+            def raising(*_args, **_kwargs):
+                raise CounterStateError("verification blew up")
+
+            monkeypatch.setattr(recovered, failing_step, raising)
+            return recovered, report
+
+        monkeypatch.setattr(durability, "recover", capturing_recover)
+        assert main(["recover", str(wal), "--compact"]) == 1
+        assert "recovery failed: verification blew up" in capsys.readouterr().err
+        assert captured["engine"].wal.closed
